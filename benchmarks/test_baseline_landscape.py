@@ -1,0 +1,84 @@
+"""Extended baseline comparison (the Table 8 landscape, quantified).
+
+The paper compares quantitatively only against D-SAGE; this bench also
+measures the related-work model families it cites qualitatively — a
+Pyramid-style random forest and a GRANNITE-style GCN — on our design
+dataset, under the same family split SNS uses.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    DesignStatsLinearModel,
+    DSAGEConfig,
+    DSAGETimingModel,
+    ForestDesignModel,
+    GCNConfig,
+    GCNPowerModel,
+)
+from repro.core import rrse
+from repro.experiments import evaluate_split, format_table
+
+from conftest import run_once
+
+TARGETS = ("timing", "area", "power")
+
+
+def test_baseline_landscape(benchmark, cv_parts, sns_on_a, settings):
+    train, test = cv_parts
+
+    def run():
+        train_graphs = [r.graph for r in train]
+        train_labels = np.stack([r.labels for r in train])
+        test_graphs = [r.graph for r in test]
+        actual = np.stack([r.labels for r in test])
+
+        results: dict[str, dict[str, float]] = {}
+
+        rows = evaluate_split(sns_on_a, test)
+        sns_pred = np.array([r.predicted for r in rows])
+        results["SNS"] = {t: rrse(sns_pred[:, i], actual[:, i])
+                          for i, t in enumerate(TARGETS)}
+
+        linear = DesignStatsLinearModel(alpha=1.0).fit(train_graphs, train_labels)
+        lin_pred = linear.predict(test_graphs)
+        results["linear (stats)"] = {t: rrse(lin_pred[:, i], actual[:, i])
+                                     for i, t in enumerate(TARGETS)}
+
+        forest = ForestDesignModel(n_trees=30, seed=0).fit(train_graphs, train_labels)
+        for_pred = forest.predict(test_graphs)
+        results["random forest"] = {t: rrse(for_pred[:, i], actual[:, i])
+                                    for i, t in enumerate(TARGETS)}
+
+        dsage = DSAGETimingModel(DSAGEConfig(epochs=60, seed=0))
+        dsage.fit(train_graphs, train_labels[:, 0])
+        results["D-SAGE (GNN)"] = {
+            "timing": rrse(dsage.predict(test_graphs), actual[:, 0])}
+
+        gcn = GCNPowerModel(GCNConfig(epochs=60, seed=0))
+        gcn.fit(train_graphs, train_labels[:, 2])
+        results["GRANNITE-style GCN"] = {
+            "power": rrse(gcn.predict(test_graphs), actual[:, 2])}
+        return results
+
+    results = run_once(benchmark, run)
+
+    rows = []
+    for name, scores in results.items():
+        rows.append([name] + [f"{scores[t]:.3f}" if t in scores else "-"
+                              for t in TARGETS])
+    print("\n" + format_table(
+        ["model", "timing RRSE", "area RRSE", "power RRSE"], rows,
+        title="Baseline landscape (one family split; lower better)"))
+
+    # SNS's path-based timing signal is its unique advantage: at the
+    # paper preset no baseline should beat it on timing.  (The fast smoke
+    # preset trains a deliberately under-sized Circuitformer, so there we
+    # only require the harness to produce finite comparisons.)
+    assert all(np.isfinite(v) for scores in results.values()
+               for v in scores.values())
+    if settings.name == "paper":
+        sns_timing = results["SNS"]["timing"]
+        for name, scores in results.items():
+            if name != "SNS" and "timing" in scores:
+                assert sns_timing <= scores["timing"] + 1e-9, (name, scores)

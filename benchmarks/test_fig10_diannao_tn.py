@@ -1,0 +1,52 @@
+"""Figure 10 + Table 13 — the DianNao Tn design-space exploration."""
+
+from repro.diannao import TABLE13, full_design_space
+from repro.experiments import format_series, format_table, run_tn_sweep
+from repro.synth import Synthesizer
+
+from conftest import run_once
+
+
+def test_table13_parameter_space(benchmark):
+    space = run_once(benchmark, full_design_space)
+
+    rows = [[name, ", ".join(map(str, values)), len(values)]
+            for name, values in TABLE13.items()]
+    rows.append(["# of combinations", "", len(space)])
+    print("\n" + format_table(["parameter", "possible values", "count"], rows,
+                              title="Table 13: DianNao DSE design parameters"))
+    assert len(space) == 576
+
+
+def test_fig10_tn_sweep(benchmark, sns_on_a):
+    """Tn sweep with both engines; the synthesizer gives the reference shape."""
+
+    def run():
+        reference = run_tn_sweep(Synthesizer(effort="medium"))
+        predicted = run_tn_sweep(sns_on_a)
+        return reference, predicted
+
+    reference, predicted = run_once(benchmark, run)
+
+    for label, result in (("synthesizer", reference), ("SNS", predicted)):
+        points = sorted(result.points, key=lambda p: p.config.tn)
+        tns = [p.config.tn for p in points]
+        print(f"\nFigure 10 ({label}):")
+        print(format_series("  area efficiency (inf/s/mm2)", tns,
+                            [p.area_efficiency for p in points], "Tn"))
+        print(format_series("  energy per inference (uJ)", tns,
+                            [p.energy_per_inference_uj for p in points], "Tn"))
+        print(format_series("  area (mm2)", tns,
+                            [p.area_um2 * 1e-6 for p in points], "Tn"))
+
+    # The paper's Figure 10 conclusions, on the reference engine:
+    ref = {p.config.tn: p for p in reference.points}
+    # 1. Area and power grow monotonically with Tn.
+    assert ref[4].area_um2 < ref[8].area_um2 < ref[16].area_um2 < ref[32].area_um2
+    assert ref[4].power_mw < ref[32].power_mw
+    # 2. Tn=16 maximizes area efficiency AND minimizes energy/inference —
+    #    "which explains why the DianNao paper chooses Tn=16".
+    assert reference.best_by_area_efficiency().config.tn == 16
+    assert reference.best_by_energy().config.tn == 16
+    # 3. SNS's predicted curve puts the optimum at 16 or its neighborhood.
+    assert predicted.best_by_area_efficiency().config.tn in (8, 16)

@@ -1,0 +1,38 @@
+"""Figure 11 — datatype vs hardware efficiency vs model accuracy."""
+
+from repro.experiments import format_table, run_datatype_sweep
+from repro.synth import Synthesizer
+
+from conftest import run_once
+
+
+def test_fig11_datatype_tradeoff(benchmark):
+    result = run_once(benchmark,
+                      lambda: run_datatype_sweep(Synthesizer(effort="medium")))
+
+    rows = []
+    for p in result.points:
+        rows.append([p.config.datatype, f"{p.area_um2 * 1e-6:.4f}",
+                     f"{p.power_mw:.1f}", f"{p.area_efficiency:.0f}",
+                     f"{p.energy_per_inference_uj:.2f}", f"{p.accuracy:.4f}"])
+    print("\n" + format_table(
+        ["datatype", "area mm2", "power mW", "inf/s/mm2", "uJ/inf", "accuracy"],
+        rows, title="Figure 11: datatype DSE at Tn=16"))
+
+    by_dt = {p.config.datatype: p for p in result.points}
+
+    # 1. Cheaper datatypes are more area- and power-efficient.
+    assert by_dt["int8"].area_um2 < by_dt["int16"].area_um2 < by_dt["fp32"].area_um2
+    assert by_dt["int8"].area_efficiency > by_dt["fp32"].area_efficiency
+    assert by_dt["int8"].energy_per_inference_uj < by_dt["fp32"].energy_per_inference_uj
+    # 2. "Going beyond Int16 does not provide any appreciation in accuracy":
+    #    int8 loses accuracy; int16 matches the float formats.
+    assert by_dt["int8"].accuracy < by_dt["int16"].accuracy - 0.02
+    for dt in ("fp16", "bf16", "tf32", "fp32"):
+        assert abs(by_dt[dt].accuracy - by_dt["int16"].accuracy) < 0.02
+    # 3. Hence int16 maximizes efficiency among accuracy-saturated formats —
+    #    the paper's explanation of DianNao's datatype choice.
+    saturated = [p for p in result.points
+                 if p.accuracy >= by_dt["int16"].accuracy - 0.02]
+    best = max(saturated, key=lambda p: p.area_efficiency)
+    assert best.config.datatype == "int16"

@@ -1,0 +1,26 @@
+"""Figure 5 — Circuitformer training loss vs validation loss."""
+
+import numpy as np
+
+from repro.experiments import format_series
+
+from conftest import run_once
+
+
+def test_fig5_circuitformer_curves(benchmark, sns_on_a):
+    history = run_once(benchmark, lambda: sns_on_a.circuitformer_history)
+
+    epochs = [h.epoch for h in history]
+    print("\nFigure 5: Circuitformer training vs validation loss")
+    print(format_series("train loss", epochs, [h.train_loss for h in history],
+                        "epoch", "loss"))
+    print(format_series("validation loss", epochs, [h.val_loss for h in history],
+                        "epoch", "loss"))
+
+    train = np.array([h.train_loss for h in history])
+    val = np.array([h.val_loss for h in history])
+    # The paper's Figure 5 shape: both curves descend and converge without
+    # a divergence blow-up.
+    assert train[-1] < train[0]
+    assert val[-1] < val[0]
+    assert val[-3:].mean() < 2.0 * max(train[-3:].mean(), 0.05)

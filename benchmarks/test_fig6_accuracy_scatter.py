@@ -1,0 +1,37 @@
+"""Figure 6 — predicted vs actual scatter for area, power, and timing."""
+
+import numpy as np
+
+from repro.experiments import AccuracyReport, ascii_scatter, evaluate_split
+
+from conftest import run_once
+
+
+def test_fig6_prediction_scatter(benchmark, cv_parts, sns_on_a, sns_on_b):
+    part_a, part_b = cv_parts
+
+    def evaluate():
+        rows = evaluate_split(sns_on_b, part_a) + evaluate_split(sns_on_a, part_b)
+        return AccuracyReport.from_rows(rows)
+
+    report = run_once(benchmark, evaluate)
+
+    names = ("timing (ps)", "area (um2)", "power (mW)")
+    for i, name in enumerate(names):
+        actual = [r.actual[i] for r in report.rows]
+        predicted = [r.predicted[i] for r in report.rows]
+        print("\n" + ascii_scatter(
+            actual, predicted,
+            title=f"Figure 6 ({name}): x=synthesizer (log), y=SNS (log)"))
+        print(f"  RRSE {report.rrse[list(report.rrse)[i]]:.3f}  "
+              f"MAEP {report.maep[list(report.maep)[i]]:.1f}%")
+
+    # Shape checks: predictions track actuals in rank order (the scatter
+    # hugs the diagonal) across the multi-order-of-magnitude area range.
+    actual_area = np.array([r.actual[1] for r in report.rows])
+    pred_area = np.array([r.predicted[1] for r in report.rows])
+    rank_corr = np.corrcoef(np.argsort(np.argsort(actual_area)),
+                            np.argsort(np.argsort(pred_area)))[0, 1]
+    print(f"\narea rank correlation: {rank_corr:.3f}")
+    assert rank_corr > 0.7
+    assert report.rrse["area"] < 1.0  # beats the mean predictor

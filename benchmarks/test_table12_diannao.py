@@ -1,0 +1,49 @@
+"""Table 12 — SNS's synthesis prediction for the published DianNao point."""
+
+from repro.experiments import format_table, table12_prediction
+
+from conftest import run_once
+
+# Paper Table 12 errors: power 10.1%, area 27.8%, timing 9.1%.
+PAPER_ERRORS = {"power_mw": 10.1, "area_um2": 27.8, "timing_ps": 9.1}
+
+
+def test_table12_diannao_prediction(benchmark, sns_on_a):
+    report = run_once(benchmark, lambda: table12_prediction(sns_on_a))
+
+    rows = [
+        ["Synthesis result (65nm)", report.original_65nm["power_mw"],
+         report.original_65nm["area_um2"] * 1e-6,
+         report.original_65nm["timing_ps"] * 1e-3],
+        ["Scaled result (15nm)", report.scaled_15nm["power_mw"],
+         report.scaled_15nm["area_um2"] * 1e-6,
+         report.scaled_15nm["timing_ps"] * 1e-3],
+        ["Reference synthesizer (15nm)", report.reference_15nm["power_mw"],
+         report.reference_15nm["area_um2"] * 1e-6,
+         report.reference_15nm["timing_ps"] * 1e-3],
+        ["SNS prediction (15nm)", report.prediction_15nm["power_mw"],
+         report.prediction_15nm["area_um2"] * 1e-6,
+         report.prediction_15nm["timing_ps"] * 1e-3],
+    ]
+    print("\n" + format_table(
+        ["row", "power (mW)", "area (mm2)", "timing (ns)"],
+        rows, title="Table 12: SNS's synthesis prediction for DianNao"))
+    for metric, paper_err in PAPER_ERRORS.items():
+        print(f"  {metric}: error vs paper-scaled {report.error_pct(metric):.1f}% "
+              f"(paper: {paper_err:.1f}%); "
+              f"vs our synthesizer {report.error_vs_reference_pct(metric):.1f}%")
+
+    # The Stillmaker-Baas scaling itself must match the paper's row 2.
+    assert abs(report.scaled_15nm["power_mw"] - 65.90) / 65.90 < 0.02
+    assert abs(report.scaled_15nm["area_um2"] - 97302.0) / 97302.0 < 0.02
+    assert abs(report.scaled_15nm["timing_ps"] - 330.0) / 330.0 < 0.02
+    # Our synthesizer's DianNao lands in the same regime as the paper's
+    # scaled result (same order of magnitude on every metric).
+    for metric in PAPER_ERRORS:
+        ratio = report.reference_15nm[metric] / report.scaled_15nm[metric]
+        assert 0.2 < ratio < 5.0, (metric, ratio)
+    # SNS predicts the ground truth it was trained against within the
+    # paper's error regime (tens of percent).
+    for metric in PAPER_ERRORS:
+        assert report.error_vs_reference_pct(metric) < 60.0, (
+            metric, report.error_vs_reference_pct(metric))

@@ -1,0 +1,23 @@
+"""Table 1 — the GraphIR vertex vocabulary (79 embeddings)."""
+
+from repro.experiments import format_table
+from repro.graphir import ARITH_TYPES, LOGIC_TYPES, Vocabulary, parse_token
+
+from conftest import run_once
+
+
+def test_table1_vocabulary(benchmark):
+    vocab = run_once(benchmark, Vocabulary.standard)
+
+    rows = []
+    for node_type in LOGIC_TYPES:
+        rows.append([node_type, "4, 8, 16, 32, 64"])
+    for node_type in ARITH_TYPES:
+        rows.append([node_type, "8, 16, 32, 64"])
+    print("\n" + format_table(["type", "widths"], rows,
+                              title="Table 1: GraphIR vertex embeddings"))
+    print(f"vocabulary size: {vocab.circuit_size} circuit tokens "
+          f"(paper: 79), {len(vocab)} with specials")
+
+    assert vocab.circuit_size == 79
+    assert len({parse_token(t)[0] for t in vocab.tokens}) == 17

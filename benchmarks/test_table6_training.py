@@ -1,0 +1,41 @@
+"""Table 6 — training hyperparameters for the three SNS models."""
+
+from repro.core import PAPER_HYPERPARAMS, TrainingConfig
+from repro.datagen import SeqGANConfig
+from repro.experiments import format_table
+
+from conftest import run_once
+
+
+def test_table6_training_hyperparameters(benchmark):
+    ours = run_once(benchmark, TrainingConfig)
+    gan = SeqGANConfig()
+
+    paper = PAPER_HYPERPARAMS
+    rows = [
+        ["Circuitformer", "Adam", ours.circuitformer_batch,
+         ours.circuitformer_lr, ours.circuitformer_epochs,
+         f"{paper['circuitformer']['batch_size']}/"
+         f"{paper['circuitformer']['lr']}/{paper['circuitformer']['epochs']}"],
+        ["Aggregation MLP", "Adam(+skip)", ours.aggregator_batch,
+         ours.aggregator_lr, ours.aggregator_epochs,
+         f"{paper['aggregation_mlp']['batch_size']}/"
+         f"{paper['aggregation_mlp']['lr']}/{paper['aggregation_mlp']['epochs']}"],
+        ["SeqGAN", "Adam", gan.batch_size, gan.gen_lr,
+         gan.pretrain_epochs + gan.adversarial_rounds,
+         f"{paper['seqgan']['batch_size']}/"
+         f"{paper['seqgan']['lr']}/{paper['seqgan']['epochs']}"],
+    ]
+    print("\n" + format_table(
+        ["model", "optimizer", "batch", "lr", "epochs (CPU-scaled)",
+         "paper batch/lr/epochs"],
+        rows, title="Table 6: training hyperparameters"))
+
+    # The paper's hyperparameters are preserved verbatim for reference.
+    assert paper["circuitformer"] == {"optimizer": "Adam", "batch_size": 128,
+                                      "lr": 0.001, "epochs": 256}
+    assert paper["aggregation_mlp"]["epochs"] == 10240
+    assert paper["seqgan"]["batch_size"] == 2048
+    # Our Circuitformer keeps the paper's optimizer family / batch / lr.
+    assert ours.circuitformer_batch == 128
+    assert ours.circuitformer_lr == 0.001

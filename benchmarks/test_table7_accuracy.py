@@ -1,0 +1,72 @@
+"""Table 7 — evaluation accuracy: 50%/30% training splits + D-SAGE."""
+
+from repro.experiments import (
+    AccuracyReport,
+    dsage_timing_comparison,
+    evaluate_split,
+    scarce_data_run,
+    format_table,
+)
+
+from conftest import run_once
+
+# Table 7 of the paper, for side-by-side reporting.
+PAPER_TABLE7 = {
+    ("timing", "rrse", 50): 0.67, ("timing", "rrse", 30): 0.82,
+    ("power", "rrse", 50): 0.60, ("power", "rrse", 30): 1.02,
+    ("area", "rrse", 50): 0.22, ("area", "rrse", 30): 0.26,
+    ("timing", "maep", 50): 38.00, ("timing", "maep", 30): 61.46,
+    ("power", "maep", 50): 48.72, ("power", "maep", 30): 71.35,
+    ("area", "maep", 50): 54.57, ("area", "maep", 30): 52.02,
+    "dsage_timing_rrse": 0.83,
+}
+
+
+def test_table7_accuracy(benchmark, design_records, cv_parts, sns_on_a, sns_on_b,
+                         settings):
+    part_a, part_b = cv_parts
+
+    def evaluate():
+        rows = evaluate_split(sns_on_b, part_a) + evaluate_split(sns_on_a, part_b)
+        report50 = AccuracyReport.from_rows(rows)
+        report30 = scarce_data_run(design_records, settings)
+        dsage = dsage_timing_comparison(design_records, settings)
+        return report50, report30, dsage
+
+    report50, report30, dsage_rrse = run_once(benchmark, evaluate)
+
+    rows = []
+    for target in ("timing", "power", "area"):
+        rows.append([f"{target} RRSE",
+                     f"{report50.rrse[target]:.2f}", f"{report30.rrse[target]:.2f}",
+                     f"{PAPER_TABLE7[(target, 'rrse', 50)]:.2f}",
+                     f"{PAPER_TABLE7[(target, 'rrse', 30)]:.2f}"])
+    for target in ("timing", "power", "area"):
+        rows.append([f"{target} MAEP",
+                     f"{report50.maep[target]:.1f}%", f"{report30.maep[target]:.1f}%",
+                     f"{PAPER_TABLE7[(target, 'maep', 50)]:.1f}%",
+                     f"{PAPER_TABLE7[(target, 'maep', 30)]:.1f}%"])
+    rows.append(["D-SAGE timing RRSE", f"{dsage_rrse:.2f}", "-",
+                 f"{PAPER_TABLE7['dsage_timing_rrse']:.2f}", "-"])
+    print("\n" + format_table(
+        ["metric", "ours 50%", "ours 30%", "paper 50%", "paper 30%"],
+        rows, title="Table 7: evaluation accuracy (lower better)"))
+
+    # Shape assertions (who wins, not absolute numbers).  Linear-space
+    # RRSE over a dataset spanning four orders of magnitude is dominated
+    # by the few largest designs, so single-fold metrics are noisy — the
+    # paper's own Table 7 has power RRSE 1.02 at 30% and area MAEP
+    # *improving* with less data.  We assert the robust shapes:
+    # 1. SNS beats the trivial mean predictor overall: mean RRSE < 1 and
+    #    at least two of the three targets < 1 individually.
+    mean50 = sum(report50.rrse.values()) / 3
+    assert mean50 < 1.0, report50.rrse
+    assert sum(1 for v in report50.rrse.values() if v < 1.0) >= 2, report50.rrse
+    # 2. Area is never the hardest target, as in the paper.
+    assert report50.rrse["area"] <= max(report50.rrse["timing"],
+                                        report50.rrse["power"]) + 1e-9
+    # 3. Timing — the paper's headline metric — does not improve with
+    #    less training data.
+    assert report30.rrse["timing"] >= 0.9 * report50.rrse["timing"]
+    # 4. SNS timing at 50% training beats the D-SAGE baseline.
+    assert report50.rrse["timing"] < dsage_rrse

@@ -1,0 +1,24 @@
+"""Table 8 — qualitative comparison with related works."""
+
+from repro.core import TABLE8_SYSTEMS, format_table8, qualitative_comparison
+
+from conftest import run_once
+
+
+def test_table8_qualitative_comparison(benchmark):
+    text = run_once(benchmark, format_table8)
+    print("\nTable 8: qualitative comparison with related works")
+    print(text)
+
+    sns = qualitative_comparison("SNS")
+    # SNS's column: everything Yes except FPGA prediction.
+    assert sum(sns.values()) == 7
+    assert not sns["FPGA Design Prediction"]
+    # Only SNS and D-SAGE support general-purpose designs...
+    general = [s for s in TABLE8_SYSTEMS
+               if qualitative_comparison(s)["Support General Purpose Designs"]]
+    assert set(general) == {"D-SAGE", "SNS"}
+    # ...and of those, only SNS also handles >1M-gate designs.
+    big = [s for s in general
+           if qualitative_comparison(s)["Support Large Designs (>1M gates)"]]
+    assert big == ["SNS"]

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""BOOM design-space exploration (Section 5.6 / Figure 8 / Table 11).
+
+Trains SNS, sweeps a slice of the 2592-configuration BOOM space, scores
+each core with the CoreMark model at its predicted frequency, and picks
+the HighPerf / PowerEff / AreaEff Pareto designs.  Pass ``--stride 1``
+for the full 2592-point sweep (minutes), larger strides for a quick look.
+
+Run:  python examples/boom_dse.py [--stride 36]
+"""
+
+import argparse
+
+from repro.datagen import train_test_split_by_family
+from repro.experiments import (
+    FAST,
+    build_dataset,
+    fit_sns,
+    format_table,
+    run_boom_study,
+    strided_subspace,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stride", type=int, default=36,
+                        help="evaluate every Nth of the 2592 configs")
+    args = parser.parse_args()
+
+    print("Training SNS on the hardware design dataset...")
+    records = build_dataset(FAST)
+    train, _ = train_test_split_by_family(records, 0.5, seed=0)
+    sns = fit_sns(train, FAST)
+
+    configs = strided_subspace(args.stride)
+    print(f"Exploring {len(configs)} of 2592 BOOM configurations...")
+    report = run_boom_study(sns, configs, verify_samples=5, synth_effort="low")
+    result = report.result
+
+    print(f"\nDSE wall-clock: {result.runtime_s:.1f}s "
+          f"({result.runtime_s / len(configs) * 1e3:.0f} ms per design)")
+    print(f"Spot-check MAEP vs synthesizer "
+          f"(paper: 12.6% area / 29.6% power / 19.8% timing): "
+          + ", ".join(f"{k} {v:.1f}%" for k, v in report.verify_maep.items()))
+
+    rows = []
+    for label, point in (("HighPerf", result.high_perf),
+                         ("PowerEff", result.power_eff),
+                         ("AreaEff", result.area_eff)):
+        c = point.config
+        rows.append([label, c.branch_predictor, c.core_width, c.memory_ports,
+                     c.fetch_width, c.rob_size, c.int_regs, c.issue_slots,
+                     c.dcache_ways, f"{point.score:.3f}",
+                     f"{point.power_mw:.1f}", f"{point.area_um2 * 1e-6:.3f}"])
+    print("\n" + format_table(
+        ["pick", "bpred", "width", "memports", "fetch", "rob", "iregs",
+         "slots", "ways", "score", "power mW", "area mm2"],
+        rows, title="Table 11-style Pareto picks"))
+
+    front = result.pareto_power
+    print(f"\nPareto frontier (power): {len(front)} designs; "
+          f"memory ports used: {sorted({p.config.memory_ports for p in front})}")
+
+
+if __name__ == "__main__":
+    main()

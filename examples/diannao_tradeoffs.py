@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""DianNao trade-off study (Section 5.7: Table 12, Figures 10 and 11).
+
+Reproduces the three case-study questions with the reference synthesizer
+as the evaluation engine (swap in a trained SNS for the paper's flow):
+
+1. Can the published DianNao point be predicted? (Table 12 scaling)
+2. How does Tn shape area/power efficiency? (Figure 10 — optimum at 16)
+3. How do datatypes trade hardware cost against model accuracy?
+   (Figure 11 — accuracy saturates at int16)
+
+Run:  python examples/diannao_tradeoffs.py
+"""
+
+from repro.experiments import (
+    DIANNAO_65NM,
+    format_series,
+    format_table,
+    run_datatype_sweep,
+    run_tn_sweep,
+)
+from repro.synth import Synthesizer, scale_result
+
+
+def main() -> None:
+    synth = Synthesizer(effort="medium")
+
+    print("== Table 12: the published DianNao point ==")
+    scaled = scale_result(DIANNAO_65NM["timing_ps"], DIANNAO_65NM["area_um2"],
+                          DIANNAO_65NM["power_mw"], from_nm=65, to_nm=15)
+    print(format_table(
+        ["row", "power mW", "area mm2", "timing ns"],
+        [["Original synthesis (65nm)", DIANNAO_65NM["power_mw"],
+          DIANNAO_65NM["area_um2"] * 1e-6, DIANNAO_65NM["timing_ps"] * 1e-3],
+         ["Scaled (15nm, Stillmaker-Baas)", scaled.power_mw,
+          scaled.area_um2 * 1e-6, scaled.timing_ps * 1e-3]]))
+
+    print("\n== Figure 10: Tn design-space exploration ==")
+    tn_result = run_tn_sweep(synth)
+    points = sorted(tn_result.points, key=lambda p: p.config.tn)
+    tns = [p.config.tn for p in points]
+    print(format_series("area efficiency (inf/s per mm2, higher better)",
+                        tns, [p.area_efficiency for p in points], "Tn"))
+    print(format_series("energy per inference (uJ, lower better)",
+                        tns, [p.energy_per_inference_uj for p in points], "Tn"))
+    best = tn_result.best_by_area_efficiency().config.tn
+    print(f"-> optimum Tn = {best} "
+          "(the paper: Tn=16 explains DianNao's published choice)")
+
+    print("\n== Figure 11: datatype vs efficiency vs accuracy ==")
+    dt_result = run_datatype_sweep(synth)
+    rows = []
+    for p in dt_result.points:
+        rows.append([p.config.datatype, f"{p.area_um2 * 1e-6:.4f}",
+                     f"{p.power_mw:.1f}", f"{p.area_efficiency:.0f}",
+                     f"{p.energy_per_inference_uj:.1f}", f"{p.accuracy:.3f}"])
+    print(format_table(
+        ["datatype", "area mm2", "power mW", "inf/s/mm2", "uJ/inf", "accuracy"],
+        rows))
+    accs = {p.config.datatype: p.accuracy for p in dt_result.points}
+    print(f"-> int8 loses {100 * (accs['int16'] - accs['int8']):.1f}% accuracy; "
+          "beyond int16 accuracy is flat while cost keeps growing "
+          "(the paper: int16 is the sweet spot)")
+
+
+if __name__ == "__main__":
+    main()

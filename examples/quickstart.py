@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: train SNS on the design dataset and predict a new design.
+
+Walks the full paper pipeline end to end on a CPU-friendly budget:
+
+1. build the Hardware Design Dataset (elaborate + synthesize designs),
+2. train SNS (path sampling -> Circuitformer -> Aggregation MLP),
+3. predict area/power/timing of held-out designs in milliseconds,
+4. compare against the reference synthesizer's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import rrse
+from repro.datagen import train_test_split_by_family
+from repro.experiments import FAST, build_dataset, fit_sns, format_table
+
+def main() -> None:
+    print("== SNS quickstart ==")
+    print("Building the hardware design dataset (Table 4)...")
+    records = build_dataset(FAST)
+    train, test = train_test_split_by_family(records, 0.5, seed=0)
+    print(f"  {len(records)} designs synthesized; "
+          f"{len(train)} train / {len(test)} test (family-aware split)")
+
+    print("Training SNS (Figure 4 flow)...")
+    sns = fit_sns(train, FAST)
+    print(f"  Circuitformer final val loss: "
+          f"{sns.circuitformer_history[-1].val_loss:.4f}")
+
+    print("Predicting held-out designs (Figure 1 flow)...")
+    rows = []
+    preds, actuals = [], []
+    for record in test:
+        p = sns.predict(record.graph)
+        rows.append([record.name, f"{p.timing_ps:.0f}/{record.timing_ps:.0f}",
+                     f"{p.area_um2:.0f}/{record.area_um2:.0f}",
+                     f"{p.power_mw:.2f}/{record.power_mw:.2f}",
+                     f"{p.runtime_s * 1e3:.1f}ms"])
+        preds.append([p.timing_ps, p.area_um2, p.power_mw])
+        actuals.append(record.labels)
+    print(format_table(
+        ["design", "timing ps (pred/act)", "area um2 (pred/act)",
+         "power mW (pred/act)", "SNS time"], rows))
+
+    preds = np.array(preds)
+    actuals = np.array(actuals)
+    for i, name in enumerate(("timing", "area", "power")):
+        print(f"  {name:>6s} RRSE: {rrse(preds[:, i], actuals[:, i]):.3f} "
+              "(1.0 = mean predictor; lower is better)")
+
+    # The path-level view: where is the predicted critical path?
+    sample = test[0]
+    p = sns.predict(sample.graph)
+    print(f"\nPredicted critical path of {sample.name} "
+          f"({p.num_paths} paths sampled):")
+    print(" -> ".join(p.critical_path.tokens))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""From Verilog source to synthesis prediction — the paper's usage model.
+
+SNS accepts plain HDL text (Section 5.5).  This example parses a Verilog
+design with the bundled front-end, shows its GraphIR, samples complete
+circuit paths (Algorithm 1), and compares the path-based view with full
+synthesis — including the paper's own order-sensitivity example, where
+``a*b + c`` fuses into a MAC but ``(a+b)*c`` cannot.
+
+Run:  python examples/verilog_to_prediction.py
+"""
+
+from repro.core import PathSampler
+from repro.experiments import format_table
+from repro.graphir import token_counts
+from repro.synth import Synthesizer
+from repro.verilog import elaborate_source
+
+FIR_FILTER = """
+// A 4-tap FIR filter with coefficient registers.
+module fir #(parameter W = 16) (
+    input clk,
+    input [W-1:0] sample,
+    input [W-1:0] c0, input [W-1:0] c1, input [W-1:0] c2, input [W-1:0] c3,
+    output [W-1:0] y
+);
+  reg [W-1:0] d0;
+  reg [W-1:0] d1;
+  reg [W-1:0] d2;
+  reg [W-1:0] acc;
+  always @(posedge clk) d0 <= sample;
+  always @(posedge clk) d1 <= d0;
+  always @(posedge clk) d2 <= d1;
+  wire [W-1:0] sum;
+  assign sum = sample * c0 + d0 * c1 + d1 * c2 + d2 * c3;
+  always @(posedge clk) acc <= sum;
+  assign y = acc;
+endmodule
+"""
+
+MAC_FUSED = """
+module fused(input clk, input [7:0] a, input [7:0] b, input [15:0] c,
+             output [15:0] y);
+  reg [15:0] r;
+  always @(posedge clk) r <= a * b + c;   // mul feeds add: MAC-fusable
+  assign y = r;
+endmodule
+"""
+
+MAC_UNFUSED = """
+module unfused(input clk, input [7:0] a, input [7:0] b, input [15:0] c,
+               output [15:0] y);
+  reg [15:0] r;
+  always @(posedge clk) r <= (a + b) * c; // add feeds mul: no fusion
+  assign y = r;
+endmodule
+"""
+
+
+def main() -> None:
+    print("== Verilog front-end -> GraphIR -> paths -> synthesis ==\n")
+    graph = elaborate_source(FIR_FILTER)
+    print(f"FIR filter GraphIR: {graph.num_nodes} vertices, "
+          f"{graph.num_edges} edges")
+    counts = token_counts(graph)
+    print("  token histogram:",
+          ", ".join(f"{t}x{n}" for t, n in sorted(counts.items())))
+
+    paths = PathSampler(k=1, max_paths=50).sample(graph)
+    print(f"\nComplete circuit paths (k=1, exhaustive): {len(paths)}")
+    for p in sorted(paths, key=len, reverse=True)[:5]:
+        print("  " + " -> ".join(p.tokens))
+
+    synth = Synthesizer(effort="medium")
+    result = synth.synthesize(graph)
+    print(f"\nReference synthesis: {result.timing_ps:.0f} ps, "
+          f"{result.area_um2:.0f} um2, {result.power_mw:.2f} mW "
+          f"({result.gate_count:.0f} NAND2-equivalent gates)")
+
+    print("\n== Order sensitivity (Section 3.3) ==")
+    rows = []
+    for name, src in (("a*b + c (fusable)", MAC_FUSED),
+                      ("(a+b) * c (not fusable)", MAC_UNFUSED)):
+        r = synth.synthesize(elaborate_source(src))
+        rows.append([name, f"{r.timing_ps:.1f}", f"{r.area_um2:.1f}",
+                     f"{r.power_mw:.3f}"])
+    print(format_table(["expression", "timing ps", "area um2", "power mW"], rows))
+    print("\nA bag-of-counts model sees identical vertices for both --- "
+          "the Circuitformer's order awareness is what separates them.")
+
+
+if __name__ == "__main__":
+    main()

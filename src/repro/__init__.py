@@ -1,0 +1,32 @@
+"""repro — a full reproduction of *"SNS's not a Synthesizer: A
+Deep-Learning-Based Synthesis Predictor"* (Xu, Kjellqvist, Wills — ISCA 2022).
+
+Package map
+-----------
+- :mod:`repro.core` — the SNS predictor: path sampler, Circuitformer,
+  Aggregation MLP, metrics, end-to-end API.
+- :mod:`repro.graphir` — the circuit-graph IR and Table 1 vocabulary.
+- :mod:`repro.hdl` — a Chisel-like hardware construction DSL.
+- :mod:`repro.verilog` — a Verilog-subset front-end (Yosys substitute).
+- :mod:`repro.synth` — the reference synthesizer (Synopsys DC substitute)
+  that provides ground-truth labels.
+- :mod:`repro.designs` — the 41-design hardware dataset (Table 3).
+- :mod:`repro.datagen` — path dataset generation: sampling, Markov chain,
+  SeqGAN.
+- :mod:`repro.baselines` — linear regression and D-SAGE-style GNN baselines.
+- :mod:`repro.boom` — the BOOM out-of-order-core design-space-exploration
+  case study (Section 5.6).
+- :mod:`repro.diannao` — the DianNao accelerator case study (Section 5.7).
+
+Quickstart
+----------
+>>> from repro.designs import get_design
+>>> from repro.synth import Synthesizer
+>>> result = Synthesizer().synthesize(get_design("fft16").module.elaborate())
+>>> result.area_um2 > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

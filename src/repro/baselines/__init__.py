@@ -1,0 +1,24 @@
+"""``repro.baselines`` — comparison models from the paper and its
+related work (Table 8).
+
+- Linear regression over vertex counts (the order-blind strawman of
+  Section 3.3), at path and design level.
+- A D-SAGE-style GraphSAGE timing predictor (the paper's state-of-the-art
+  comparison, Section 5.3).
+- A GRANNITE-style GCN power predictor.
+- A Pyramid-style random-forest design model (from-scratch CART trees).
+"""
+
+from .linear import RidgeRegression, PathCountLinearModel, DesignStatsLinearModel
+from .gnn_ops import segment_mean_neighbors, global_mean_pool, global_max_pool
+from .dsage import DSAGEConfig, DSAGETimingModel
+from .gcn import GCNConfig, GCNPowerModel
+from .forest import DecisionTreeRegressor, RandomForestRegressor, ForestDesignModel
+
+__all__ = [
+    "RidgeRegression", "PathCountLinearModel", "DesignStatsLinearModel",
+    "segment_mean_neighbors", "global_mean_pool", "global_max_pool",
+    "DSAGEConfig", "DSAGETimingModel",
+    "GCNConfig", "GCNPowerModel",
+    "DecisionTreeRegressor", "RandomForestRegressor", "ForestDesignModel",
+]

@@ -1,0 +1,56 @@
+"""BOOM design-space parameters (Table 10 of the paper)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+
+__all__ = ["BRANCH_PREDICTORS", "BoomConfig", "full_design_space", "TABLE10"]
+
+BRANCH_PREDICTORS = ("tage-l", "boom2", "alpha21264")
+
+# Table 10, verbatim: parameter -> possible values.
+TABLE10: dict[str, tuple] = {
+    "branch_predictor": BRANCH_PREDICTORS,
+    "core_width": (1, 2, 3, 4),
+    "memory_ports": (1, 2),
+    "fetch_width": (4, 8),
+    "rob_size": (32, 64, 96),
+    "int_regs": (52, 80, 100),
+    "issue_slots": (8, 16, 32),
+    "dcache_ways": (4, 8),
+}
+
+
+@dataclass(frozen=True)
+class BoomConfig:
+    """One point in the 2592-design BOOM space."""
+
+    branch_predictor: str = "tage-l"
+    core_width: int = 2
+    memory_ports: int = 1
+    fetch_width: int = 4
+    rob_size: int = 64
+    int_regs: int = 80
+    issue_slots: int = 16
+    dcache_ways: int = 4
+
+    def __post_init__(self):
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value not in TABLE10[f.name]:
+                raise ValueError(
+                    f"{f.name}={value!r} not in Table 10 range {TABLE10[f.name]}")
+
+    @property
+    def name(self) -> str:
+        return (f"boom_{self.branch_predictor}_w{self.core_width}"
+                f"_m{self.memory_ports}_f{self.fetch_width}_r{self.rob_size}"
+                f"_p{self.int_regs}_i{self.issue_slots}_c{self.dcache_ways}")
+
+
+def full_design_space() -> list[BoomConfig]:
+    """All 2592 Table 10 combinations, in deterministic order."""
+    keys = list(TABLE10)
+    combos = itertools.product(*(TABLE10[k] for k in keys))
+    return [BoomConfig(**dict(zip(keys, combo))) for combo in combos]

@@ -1,0 +1,120 @@
+"""The BOOM design-space exploration (Section 5.6, Figure 8, Table 11).
+
+Runs SNS predictions over the Table 10 space, scores each configuration
+with the CoreMark model at its predicted frequency, extracts the Pareto
+frontier, and selects the three paper-style designs: HighPerf (fastest),
+PowerEff (best performance/power), and AreaEff (best performance/area).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import SNS
+from ..synth import Synthesizer
+from .config import BoomConfig
+from .generator import BoomCore
+from .perf_model import CoreMarkModel
+
+__all__ = ["DSEPoint", "DSEResult", "BoomDSE", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """One evaluated configuration."""
+
+    config: BoomConfig
+    timing_ps: float
+    area_um2: float
+    power_mw: float
+    score: float                 # normalized CoreMark (fastest = 1.0 post-normalize)
+
+    @property
+    def perf_per_watt(self) -> float:
+        return self.score / self.power_mw if self.power_mw > 0 else 0.0
+
+    @property
+    def perf_per_area(self) -> float:
+        return self.score / self.area_um2 if self.area_um2 > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DSEResult:
+    points: tuple[DSEPoint, ...]
+    runtime_s: float
+    high_perf: DSEPoint
+    power_eff: DSEPoint
+    area_eff: DSEPoint
+
+    @property
+    def pareto_power(self) -> tuple[DSEPoint, ...]:
+        """Pareto frontier in (power, score) space."""
+        return pareto_front(self.points, lambda p: p.power_mw)
+
+    @property
+    def pareto_area(self) -> tuple[DSEPoint, ...]:
+        """Pareto frontier in (area, score) space."""
+        return pareto_front(self.points, lambda p: p.area_um2)
+
+
+def pareto_front(points, cost_key) -> tuple[DSEPoint, ...]:
+    """Points not dominated in (minimize cost, maximize score)."""
+    ordered = sorted(points, key=lambda p: (cost_key(p), -p.score))
+    front = []
+    best = -np.inf
+    for p in ordered:
+        if p.score > best:
+            front.append(p)
+            best = p.score
+    return tuple(front)
+
+
+class BoomDSE:
+    """Evaluate BOOM configurations with either SNS or the synthesizer."""
+
+    def __init__(self, predictor: SNS | None = None,
+                 synthesizer: Synthesizer | None = None,
+                 perf_model: CoreMarkModel | None = None):
+        if (predictor is None) == (synthesizer is None):
+            raise ValueError("provide exactly one of predictor / synthesizer")
+        self.predictor = predictor
+        self.synthesizer = synthesizer
+        self.perf_model = perf_model or CoreMarkModel()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, config: BoomConfig) -> DSEPoint:
+        graph = BoomCore(config).elaborate()
+        if self.predictor is not None:
+            pred = self.predictor.predict(graph)
+            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
+        else:
+            result = self.synthesizer.synthesize(graph)
+            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+        timing = max(timing, 1.0)
+        freq = 1000.0 / timing
+        score = self.perf_model.score(config, freq)
+        return DSEPoint(config, timing, area, power, score)
+
+    def run(self, configs: list[BoomConfig], verbose: bool = False) -> DSEResult:
+        """Evaluate all configs; scores are normalized so the best is 1.0."""
+        if not configs:
+            raise ValueError("no configurations to explore")
+        start = time.perf_counter()
+        points = []
+        for i, config in enumerate(configs):
+            points.append(self.evaluate(config))
+            if verbose and (i + 1) % 100 == 0:
+                print(f"[boom-dse] {i + 1}/{len(configs)} evaluated")
+        top = max(p.score for p in points)
+        normalized = [DSEPoint(p.config, p.timing_ps, p.area_um2, p.power_mw,
+                               p.score / top) for p in points]
+        return DSEResult(
+            points=tuple(normalized),
+            runtime_s=time.perf_counter() - start,
+            high_perf=max(normalized, key=lambda p: p.score),
+            power_eff=max(normalized, key=lambda p: p.perf_per_watt),
+            area_eff=max(normalized, key=lambda p: p.perf_per_area),
+        )

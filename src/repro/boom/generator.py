@@ -1,0 +1,185 @@
+"""A parameterizable out-of-order core generator (BOOM-like).
+
+Builds the synthesis-relevant structure of SonicBOOM for every Table 10
+configuration: frontend with a selectable branch predictor, decode,
+rename map + free list, re-order buffer, issue queue with wakeup CAM,
+physical register file, execution units, load/store unit, and an L1
+data-cache way structure.  Every Table 10 parameter changes the hardware
+— that sensitivity is what the DSE measures.
+"""
+
+from __future__ import annotations
+
+from ..hdl import (
+    Circuit,
+    Module,
+    Signal,
+    adder_tree,
+    counter,
+    mux_tree,
+    pipeline,
+    priority_arbiter,
+    register_file,
+)
+from .config import BoomConfig
+
+__all__ = ["BoomCore"]
+
+XLEN = 64
+TAG_W = 8    # physical register tag width (rounded)
+
+
+def _branch_predictor(c: Circuit, pc: Signal, kind: str) -> Signal:
+    """Branch predictor structures of increasing sophistication."""
+    idx = pc.resized(5)
+    if kind == "boom2":
+        # gshare-style: one history register xor'd into one table.
+        ghist = c.reg_declare(16, "ghist")
+        c.connect_next(ghist, (ghist << 1) ^ pc.resized(16))
+        table = register_file(c, ghist.resized(2), idx ^ ghist.resized(5), idx, 16, "bht")
+        return table.resized(1)
+    if kind == "alpha21264":
+        # tournament: local + global tables + chooser.
+        local = register_file(c, pc.resized(2), idx, idx, 16, "lbht")
+        ghist = c.reg_declare(12, "ghist")
+        c.connect_next(ghist, (ghist << 1) ^ pc.resized(12))
+        global_t = register_file(c, ghist.resized(2), ghist.resized(5), idx, 16, "gbht")
+        chooser = register_file(c, pc.resized(2), idx, idx, 16, "chooser")
+        return c.mux(chooser.resized(1), global_t.resized(1), local.resized(1))
+    if kind == "tage-l":
+        # TAGE: several tagged tables over geometric history lengths + LRU-ish
+        # provider select; the largest predictor.
+        ghist = c.reg_declare(32, "ghist")
+        c.connect_next(ghist, (ghist << 1) ^ pc.resized(32))
+        prediction = None
+        for t, hist_bits in enumerate((4, 8, 16, 32)):
+            folded = ghist.resized(hist_bits).reduce_xor()
+            index = (pc ^ folded.resized(XLEN)).resized(5)
+            entry = register_file(c, pc.resized(10), index, index, 16, f"tage{t}")
+            tag_hit = entry.resized(8).eq(pc.resized(8))
+            pred = entry.resized(1)
+            prediction = pred if prediction is None else c.mux(tag_hit, pred, prediction)
+        return prediction
+    raise ValueError(f"unknown branch predictor: {kind!r}")
+
+
+class BoomCore(Module):
+    """Structural OoO core for one :class:`BoomConfig`."""
+
+    def __init__(self, config: BoomConfig):
+        super().__init__(**{f: getattr(config, f) for f in (
+            "core_width", "memory_ports", "fetch_width", "rob_size",
+            "int_regs", "issue_slots", "dcache_ways")})
+        self.config = config
+
+    @property
+    def design_name(self) -> str:
+        return self.config.name
+
+    def build(self, c: Circuit) -> None:
+        cfg = self.config
+        # ---------------- Frontend ------------------------------------- #
+        pc = counter(c, XLEN, "pc")
+        taken = _branch_predictor(c, pc, cfg.branch_predictor)
+        next_pc = c.mux(taken, pc + 4 * cfg.fetch_width, pc + 4)
+        fetch_pkt = [c.reg(c.input(f"imem{i}", 32), f"fb{i}")
+                     for i in range(cfg.fetch_width)]
+
+        # ---------------- Decode + Rename ------------------------------- #
+        uops = []
+        for w in range(cfg.core_width):
+            instr = fetch_pkt[w % cfg.fetch_width]
+            opcode = instr.resized(7)
+            rs1 = (instr >> 15).resized(5)
+            rs2 = (instr >> 20).resized(5)
+            rd = (instr >> 7).resized(5)
+            # Rename map: 32 architectural -> physical tags.
+            free_tag = counter(c, TAG_W, f"freelist{w}")
+            p1 = register_file(c, free_tag, rd, rs1, depth=16, label=f"map{w}a")
+            p2 = register_file(c, free_tag, rd, rs2, depth=16, label=f"map{w}b")
+            uops.append((opcode, p1, p2, free_tag))
+
+        # ---------------- ROB ------------------------------------------- #
+        # One status register per ROB entry (modeled at 1/4 density to keep
+        # elaboration tractable; area scales with rob_size regardless).
+        rob_head = counter(c, TAG_W, "rob_head")
+        rob_entries = []
+        for e in range(cfg.rob_size // 4):
+            alloc = rob_head.eq(e)
+            entry = c.reg_declare(32, f"rob{e}")
+            c.connect_next(entry, c.mux(alloc, uops[e % cfg.core_width][1].resized(32), entry))
+            rob_entries.append(entry)
+        commit = mux_tree(c, rob_head, rob_entries)
+
+        # ---------------- Issue queue with wakeup CAM ------------------- #
+        wakeup_tags = [uop[3] for uop in uops]  # one broadcast per write port
+        requests = []
+        slot_payloads = []
+        for s in range(cfg.issue_slots):
+            src1 = c.reg(uops[s % cfg.core_width][1], f"iq{s}_src1")
+            src2 = c.reg(uops[s % cfg.core_width][2], f"iq{s}_src2")
+            ready = None
+            for tag in wakeup_tags:
+                hit = src1.eq(tag) | src2.eq(tag)
+                ready = hit if ready is None else ready | hit
+            requests.append(ready)
+            slot_payloads.append(src1)
+        grants = priority_arbiter(c, requests)
+        issue_sel = adder_tree(c, [g.resized(8) for g in grants])
+
+        # ---------------- Physical register file ------------------------ #
+        # int_regs entries, 2 read ports per issue lane (modeled at 1/4
+        # density; read-port mux trees scale with both depth and width).
+        prf_depth = max(cfg.int_regs // 4, 4)
+        operands = []
+        for w in range(cfg.core_width):
+            wdata = c.input(f"wb{w}", XLEN)
+            a = register_file(c, wdata, wakeup_tags[w].resized(TAG_W),
+                              slot_payloads[w % cfg.issue_slots].resized(TAG_W),
+                              depth=prf_depth, label=f"prf{w}a")
+            b = register_file(c, wdata, wakeup_tags[w].resized(TAG_W),
+                              issue_sel.resized(TAG_W),
+                              depth=prf_depth, label=f"prf{w}b")
+            operands.append((a, b))
+
+        # ---------------- Execute --------------------------------------- #
+        results = []
+        for w, (a, b) in enumerate(operands):
+            alu = mux_tree(c, uops[w][0].resized(3),
+                           [a + b, a - b, a & b, a | b, a ^ b,
+                            a << b.resized(6), a >> b.resized(6),
+                            c.mux(a.lt(b), b, a)])
+            results.append(c.reg(alu, f"ex{w}"))
+        mul_unit = pipeline(c, (operands[0][0] * operands[0][1]).resized(XLEN), 2, "mul")
+        div_unit = operands[0][0] // operands[0][1]
+        results.append(c.reg(c.mux(uops[0][0].resized(1), mul_unit, div_unit), "md"))
+
+        # ---------------- LSU + D-cache --------------------------------- #
+        # Each memory port needs its own tag array AND its own port into
+        # the data arrays — dual-porting an SRAM roughly doubles its cost,
+        # which is why single-port designs dominate the Pareto frontier.
+        for port in range(cfg.memory_ports):
+            addr = operands[port % cfg.core_width][0] + commit.resized(XLEN)
+            line_data = c.input(f"dmem{port}", XLEN)
+            row_sel = addr.resized(2)
+            ways = []
+            for way in range(cfg.dcache_ways):
+                tag = c.reg(addr.resized(20), f"dtag{port}_{way}")
+                hit = tag.eq(addr.resized(20))
+                # Data array rows (reduced density; scales with ways x ports).
+                rows = []
+                for rr in range(4):
+                    row = c.reg_declare(XLEN, f"dline{port}_{way}_{rr}")
+                    c.connect_next(row, c.mux(row_sel.eq(rr) & hit, line_data, row))
+                    rows.append(row)
+                line = mux_tree(c, row_sel, rows)
+                ways.append(c.mux(hit, line, line ^ line))
+            way_sel = ways[0]
+            for wy in ways[1:]:
+                way_sel = way_sel | wy
+            results.append(c.reg(way_sel, f"lsu{port}"))
+
+        # ---------------- Commit/outputs --------------------------------- #
+        c.output("pc_out", c.reg(next_pc, "pc_next"))
+        c.output("commit_data", c.reg(adder_tree(c, results), "commit"))
+        c.output("rob_out", commit)

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+synth FILE.v      Synthesize a Verilog design with the reference
+                  synthesizer and print timing/area/power.
+report FILE.v     Print the full EDA-style report (worst timing paths,
+                  area and power breakdowns).
+train OUT.npz     Train SNS on the bundled hardware design dataset and
+                  save the model.
+predict MODEL FILE.v
+                  Predict a Verilog design with a trained model (and
+                  print the predicted critical path).
+paths FILE.v      Sample complete circuit paths from a design.
+export NAME OUT.v Emit a bundled dataset design as Verilog
+                  (``export --list`` shows the 41 names).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main"]
+
+
+def _read_design(path: str):
+    from .verilog import elaborate_source
+
+    source = Path(path).read_text()
+    return elaborate_source(source)
+
+
+def _cmd_synth(args) -> int:
+    from .synth import Synthesizer
+
+    graph = _read_design(args.design)
+    result = Synthesizer(effort=args.effort).synthesize(graph)
+    print(f"design:  {result.design}")
+    print(f"cells:   {result.num_cells} ({result.gate_count:.0f} NAND2-eq gates)")
+    print(f"timing:  {result.timing_ps:.1f} ps ({result.frequency_ghz:.3f} GHz)")
+    print(f"area:    {result.area_um2:.1f} um2 ({result.area_mm2:.6f} mm2)")
+    print(f"power:   {result.power_mw:.3f} mW")
+    print(f"runtime: {result.runtime_s * 1e3:.1f} ms")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core.persistence import save_sns
+    from .datagen import train_test_split_by_family
+    from .experiments import FAST, FULL, build_dataset, fit_sns
+
+    settings = FULL if args.preset == "full" else FAST
+    print(f"building the design dataset ({settings.name} preset)...")
+    records = build_dataset(settings)
+    train, test = train_test_split_by_family(records, args.train_fraction,
+                                             seed=args.seed)
+    print(f"training SNS on {len(train)} designs...")
+    sns = fit_sns(train, settings)
+    save_sns(sns, args.output)
+    print(f"saved model to {args.output} ({len(test)} designs held out)")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .core.persistence import load_sns
+
+    sns = load_sns(args.model)
+    graph = _read_design(args.design)
+    pred = sns.predict(graph)
+    print(f"design:  {pred.design}")
+    print(f"timing:  {pred.timing_ps:.1f} ps ({pred.frequency_ghz:.3f} GHz)")
+    print(f"area:    {pred.area_um2:.1f} um2 ({pred.area_mm2:.6f} mm2)")
+    print(f"power:   {pred.power_mw:.3f} mW")
+    print(f"paths:   {pred.num_paths} sampled; runtime {pred.runtime_s * 1e3:.1f} ms")
+    if pred.critical_path is not None:
+        print("critical path: " + " -> ".join(pred.critical_path.tokens))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .synth import analyze
+
+    graph = _read_design(args.design)
+    print(analyze(graph, num_paths=args.paths).format())
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from .designs import get_design, standard_designs
+    from .verilog import emit_verilog
+
+    if args.list:
+        for entry in standard_designs():
+            print(f"{entry.name:20s} {entry.category}")
+        return 0
+    if not args.name or not args.output:
+        print("export requires NAME and OUT.v (or --list)", file=sys.stderr)
+        return 2
+    entry = get_design(args.name)
+    text = emit_verilog(entry.module.elaborate())
+    Path(args.output).write_text(text + "\n")
+    print(f"wrote {args.output} ({text.count(chr(10)) + 1} lines)")
+    return 0
+
+
+def _cmd_paths(args) -> int:
+    from .core import PathSampler
+
+    graph = _read_design(args.design)
+    sampler = PathSampler(k=args.k, max_paths=args.max_paths)
+    paths = sampler.sample(graph)
+    print(f"{len(paths)} complete circuit paths (k={args.k}):")
+    for p in paths:
+        print("  " + " -> ".join(p.tokens))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_synth = sub.add_parser("synth", help="synthesize a Verilog design")
+    p_synth.add_argument("design")
+    p_synth.add_argument("--effort", default="medium",
+                         choices=("low", "medium", "high"))
+    p_synth.set_defaults(fn=_cmd_synth)
+
+    p_train = sub.add_parser("train", help="train SNS and save the model")
+    p_train.add_argument("output")
+    p_train.add_argument("--preset", default="fast", choices=("fast", "full"))
+    p_train.add_argument("--train-fraction", type=float, default=0.5)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.set_defaults(fn=_cmd_train)
+
+    p_pred = sub.add_parser("predict", help="predict with a trained model")
+    p_pred.add_argument("model")
+    p_pred.add_argument("design")
+    p_pred.set_defaults(fn=_cmd_predict)
+
+    p_paths = sub.add_parser("paths", help="sample complete circuit paths")
+    p_paths.add_argument("design")
+    p_paths.add_argument("-k", type=int, default=5)
+    p_paths.add_argument("--max-paths", type=int, default=100)
+    p_paths.set_defaults(fn=_cmd_paths)
+
+    p_report = sub.add_parser("report", help="full timing/area/power report")
+    p_report.add_argument("design")
+    p_report.add_argument("--paths", type=int, default=3,
+                          help="worst timing paths to show")
+    p_report.set_defaults(fn=_cmd_report)
+
+    p_export = sub.add_parser("export", help="emit a dataset design as Verilog")
+    p_export.add_argument("name", nargs="?")
+    p_export.add_argument("output", nargs="?")
+    p_export.add_argument("--list", action="store_true",
+                          help="list the 41 dataset designs")
+    p_export.set_defaults(fn=_cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Evaluation metrics (Section 5.1): RRSE and MAEP.
+
+RRSE (root relative square error) normalizes RMSE by the ground-truth
+standard deviation, so it is invariant to the scale of the predicted
+feature; a model that always predicts the mean scores exactly 1.0.
+MAEP (mean absolute error percentage) is the intuitive companion metric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rrse", "maep"]
+
+
+def rrse(predicted, actual) -> float:
+    """Root relative square error: sqrt(SSE / SST).  Lower is better."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if actual.size < 2:
+        raise ValueError("RRSE needs at least two samples")
+    sse = float(((predicted - actual) ** 2).sum())
+    sst = float(((actual - actual.mean()) ** 2).sum())
+    if sst == 0.0:
+        return 0.0 if sse == 0.0 else float("inf")
+    return float(np.sqrt(sse / sst))
+
+
+def maep(predicted, actual) -> float:
+    """Mean absolute error percentage: mean(|pred - act| / |act|) * 100."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(actual, dtype=np.float64)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if np.any(actual == 0):
+        raise ValueError("MAEP undefined for zero ground-truth values")
+    return float(np.mean(np.abs(predicted - actual) / np.abs(actual)) * 100.0)

@@ -1,0 +1,38 @@
+"""The qualitative related-work comparison (Table 8 of the paper)."""
+
+from __future__ import annotations
+
+__all__ = ["TABLE8_ROWS", "TABLE8_SYSTEMS", "qualitative_comparison", "format_table8"]
+
+TABLE8_SYSTEMS = ("D-SAGE", "Aladdin", "MAESTRO", "ParaGraph", "APOLLO", "SNS")
+
+# capability -> per-system yes/no, transcribed from Table 8.
+TABLE8_ROWS: dict[str, tuple[bool, ...]] = {
+    "Timing Prediction":              (True, True, False, True, False, True),
+    "Area Prediction":                (False, True, True, True, False, True),
+    "Power Prediction":               (False, True, True, True, True, True),
+    "ASIC Design Prediction":         (False, True, True, True, True, True),
+    "FPGA Design Prediction":         (True, False, False, False, False, False),
+    "Support General Purpose Designs": (True, False, False, False, False, True),
+    "Support Large Designs (>1M gates)": (False, True, True, False, True, True),
+    "No Human Intervention":          (True, False, False, False, True, True),
+}
+
+
+def qualitative_comparison(system: str) -> dict[str, bool]:
+    """Capability vector for one system."""
+    if system not in TABLE8_SYSTEMS:
+        raise KeyError(f"unknown system {system!r}; known: {TABLE8_SYSTEMS}")
+    idx = TABLE8_SYSTEMS.index(system)
+    return {cap: flags[idx] for cap, flags in TABLE8_ROWS.items()}
+
+
+def format_table8() -> str:
+    """Render Table 8 as aligned text."""
+    width = max(len(cap) for cap in TABLE8_ROWS) + 2
+    header = " " * width + "  ".join(f"{s:>9s}" for s in TABLE8_SYSTEMS)
+    lines = [header]
+    for cap, flags in TABLE8_ROWS.items():
+        cells = "  ".join(f"{'Yes' if f else 'No':>9s}" for f in flags)
+        lines.append(f"{cap:<{width}}{cells}")
+    return "\n".join(lines)

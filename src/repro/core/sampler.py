@@ -1,0 +1,149 @@
+"""Complete-circuit-path sampling (Section 3.2, Algorithm 1).
+
+A *complete circuit path* begins and ends at vertices that contain
+flip-flops (``dff``) or are design ports (``io``) — it captures one-cycle
+behaviour.  The sampler runs a randomized DFS: at every combinational
+vertex it explores ``ceil(|successors| / k)`` randomly-chosen successors
+(at least one), so ``k = 1`` is exhaustive and larger ``k`` thins the
+sample.  The paper uses ``k = 5`` for training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphir import CircuitGraph
+
+__all__ = ["SampledPath", "PathSampler"]
+
+DEFAULT_K = 5
+DEFAULT_MAX_LEN = 64
+DEFAULT_MAX_PATHS = 512
+
+
+@dataclass(frozen=True)
+class SampledPath:
+    """One complete circuit path: node ids and their vocabulary tokens.
+
+    Because each path is explicitly sampled, SNS keeps a record of where
+    it lives in the design (``node_ids``) — this is what lets SNS point
+    at the critical path (Section 2.2).
+    """
+
+    node_ids: tuple[int, ...]
+    tokens: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class PathSampler:
+    """Randomized DFS path sampler (Algorithm 1).
+
+    Parameters
+    ----------
+    k:
+        Sampling divisor — ``ceil(succ/k)`` successors explored per
+        vertex.  ``k=1`` samples exhaustively.
+    max_len:
+        Paths longer than this are truncated at the next sequential
+        vertex or dropped; protects the Circuitformer's input bound.
+    max_paths:
+        Global per-design budget; sampling stops once reached.
+    seed:
+        RNG seed for reproducible sampling.
+    """
+
+    k: int = DEFAULT_K
+    max_len: int = DEFAULT_MAX_LEN
+    max_paths: int = DEFAULT_MAX_PATHS
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1: {self.k}")
+        if self.max_len < 2:
+            raise ValueError(f"max_len must allow at least two endpoints: {self.max_len}")
+
+    # ------------------------------------------------------------------ #
+    def sample(self, graph: CircuitGraph) -> list[SampledPath]:
+        """Sample complete circuit paths from every sequential source.
+
+        Sampling is coverage-guided (successors not yet on any sampled
+        path are preferred — the paper's "evenly distributed across the
+        entire design") and runs multiple rounds over the sources until
+        the path budget is met or a round yields nothing new.
+        """
+        rng = np.random.default_rng(self.seed)
+        paths: list[SampledPath] = []
+        seen: set[tuple[int, ...]] = set()
+        self._visited: set[int] = set()
+
+        sources = graph.source_ids()
+        max_rounds = 1 if self.k == 1 else 8
+        for _ in range(max_rounds):
+            if len(paths) >= self.max_paths:
+                break
+            before = len(paths)
+            rng.shuffle(sources)
+            for src in sources:
+                if len(paths) >= self.max_paths:
+                    break
+                self._dfs_from(graph, src, rng, paths, seen)
+            if len(paths) == before:
+                break
+        return paths
+
+    # ------------------------------------------------------------------ #
+    def _dfs_from(self, graph: CircuitGraph, src: int, rng: np.random.Generator,
+                  paths: list[SampledPath], seen: set[tuple[int, ...]]) -> None:
+        """Iterative DFS growing one path at a time from ``src``."""
+        # Stack holds (node, path_so_far); path includes node.
+        stack: list[tuple[int, tuple[int, ...]]] = []
+        for succ in self._pick(graph.successors(src), rng):
+            stack.append((succ, (src, succ)))
+
+        while stack and len(paths) < self.max_paths:
+            node_id, path = stack.pop()
+            node = graph.node(node_id)
+            if node.is_sequential:
+                if len(path) >= 2 and path not in seen:
+                    seen.add(path)
+                    paths.append(SampledPath(
+                        node_ids=path,
+                        tokens=tuple(graph.node(n).token for n in path),
+                    ))
+                continue
+            if len(path) >= self.max_len:
+                continue  # drop over-long exploration
+            successors = graph.successors(node_id)
+            if not successors:
+                continue  # dangling combinational sink; not a complete path
+            for succ in self._pick(successors, rng):
+                if succ in path and not graph.node(succ).is_sequential:
+                    continue  # avoid combinational revisits
+                stack.append((succ, path + (succ,)))
+
+    def _pick(self, successors: list[int], rng: np.random.Generator) -> list[int]:
+        """Choose ceil(len/k) successors, preferring ones never visited.
+
+        The coverage preference keeps rare branches (a lone divider behind
+        a wide mux tree — often the critical path) from being thinned
+        away, while staying random within the visited/unvisited groups.
+        """
+        if not successors:
+            return []
+        count = -(-len(successors) // self.k)  # ceil division
+        if count >= len(successors):
+            picked = list(successors)
+        else:
+            fresh = [s for s in successors if s not in self._visited]
+            stale = [s for s in successors if s in self._visited]
+            rng.shuffle(fresh)
+            rng.shuffle(stale)
+            picked = (fresh + stale)[:count]
+        self._visited.update(picked)
+        return picked

@@ -1,0 +1,172 @@
+"""Dataset containers and builders (Section 4.1/4.2, Tables 4 and 5).
+
+- :class:`DesignRecord` — one Hardware Design Dataset row: a design (kept
+  as its GraphIR rather than Verilog files) plus its synthesized
+  timing/area/power labels.
+- :class:`PathRecord` — one Circuit Path Dataset row: a token sequence
+  plus its per-path synthesized labels.
+- Family-aware train/test splitting: designs generated from the same
+  parameterizable base never straddle the split (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..designs import DesignEntry
+from ..graphir import CircuitGraph
+from ..synth import Synthesizer
+
+if TYPE_CHECKING:  # avoid a circular import with repro.core at runtime
+    from ..core.sampler import PathSampler
+
+__all__ = [
+    "DesignRecord",
+    "PathRecord",
+    "build_design_dataset",
+    "sample_path_dataset",
+    "train_test_split_by_family",
+]
+
+
+@dataclass(frozen=True)
+class DesignRecord:
+    """Table 4 row: design + synthesized design-level labels."""
+
+    name: str
+    family: str
+    graph: CircuitGraph
+    timing_ps: float
+    area_um2: float
+    power_mw: float
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([self.timing_ps, self.area_um2, self.power_mw])
+
+
+@dataclass(frozen=True)
+class PathRecord:
+    """Table 5 row: token sequence + synthesized path-level labels."""
+
+    tokens: tuple[str, ...]
+    timing_ps: float
+    area_um2: float
+    power_mw: float
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([self.timing_ps, self.area_um2, self.power_mw])
+
+
+def build_design_dataset(entries: list[DesignEntry],
+                         synthesizer: Synthesizer | None = None,
+                         max_nodes: int | None = None) -> list[DesignRecord]:
+    """Elaborate and synthesize each registry entry into a dataset row.
+
+    ``max_nodes`` optionally skips designs whose elaborated GraphIR
+    exceeds the budget (useful for fast test configurations).
+    """
+    synthesizer = synthesizer or Synthesizer(effort="medium")
+    records = []
+    for entry in entries:
+        graph = entry.module.elaborate()
+        if max_nodes is not None and graph.num_nodes > max_nodes:
+            continue
+        result = synthesizer.synthesize(graph)
+        records.append(DesignRecord(
+            name=entry.name,
+            family=entry.family,
+            graph=graph,
+            timing_ps=result.timing_ps,
+            area_um2=result.area_um2,
+            power_mw=result.power_mw,
+        ))
+    return records
+
+
+def sample_path_dataset(records: list[DesignRecord],
+                        sampler: PathSampler | None = None,
+                        synthesizer: Synthesizer | None = None) -> list[PathRecord]:
+    """Sample complete circuit paths from designs and label each one.
+
+    Duplicate token sequences across designs are collapsed — the Circuit
+    Path Dataset keys on the path itself (Table 5).
+    """
+    if sampler is None:
+        from ..core.sampler import PathSampler
+
+        sampler = PathSampler()
+    synthesizer = synthesizer or Synthesizer(effort="medium")
+    seen: set[tuple[str, ...]] = set()
+    out: list[PathRecord] = []
+    for record in records:
+        for path in sampler.sample(record.graph):
+            if path.tokens in seen:
+                continue
+            seen.add(path.tokens)
+            label = synthesizer.synthesize_path(list(path.tokens))
+            out.append(PathRecord(
+                tokens=path.tokens,
+                timing_ps=label.timing_ps,
+                area_um2=label.area_um2,
+                power_mw=label.power_mw,
+            ))
+    return out
+
+
+def train_test_split_by_family(records: list[DesignRecord], train_fraction: float = 0.5,
+                               seed: int = 0) -> tuple[list[DesignRecord], list[DesignRecord]]:
+    """Split designs into train/test without splitting any family.
+
+    Families never straddle the split (Section 4.1 of the paper).  The
+    assignment is a size-balanced draft: families are ordered by their
+    largest member and dealt to whichever side is furthest below its
+    design-count budget (ties broken by the seeded RNG, preferring the
+    side with less accumulated size) — so both folds span the dataset's
+    orders-of-magnitude size range instead of concentrating all large
+    designs on one side.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0, 1): {train_fraction}")
+    rng = np.random.default_rng(seed)
+    families: dict[str, list[DesignRecord]] = {}
+    for r in records:
+        families.setdefault(r.family, []).append(r)
+
+    def family_size(name: str) -> int:
+        return max(r.graph.num_nodes for r in families[name])
+
+    # Shuffle first so equal-size ties are seed-dependent, then order by
+    # size descending (stable sort keeps the shuffled tie order).
+    names = sorted(families)
+    rng.shuffle(names)
+    names.sort(key=family_size, reverse=True)
+
+    total = len(records)
+    target_train = train_fraction * total
+    target_test = total - target_train
+    train: list[DesignRecord] = []
+    test: list[DesignRecord] = []
+    size_train = size_test = 0
+    for name in names:
+        group = families[name]
+        fill_train = len(train) / target_train
+        fill_test = len(test) / target_test
+        if abs(fill_train - fill_test) > 1e-9:
+            to_train = fill_train < fill_test
+        else:
+            to_train = size_train <= size_test
+        if to_train:
+            train.extend(group)
+            size_train += sum(r.graph.num_nodes for r in group)
+        else:
+            test.extend(group)
+            size_test += sum(r.graph.num_nodes for r in group)
+    if not train or not test:
+        raise ValueError("split produced an empty side; need more families")
+    return train, test

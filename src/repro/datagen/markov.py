@@ -1,0 +1,90 @@
+"""Markov-chain circuit-path generation (Section 4.2.1).
+
+A first-order transition matrix is fitted over the paths sampled from the
+training designs (with virtual START/END states); new unique paths are
+then drawn from the chain.  Generated paths are noisier and less biased
+than SeqGAN output — the paper keeps both sources in the training mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MarkovChainGenerator"]
+
+_START = "<start>"
+_END = "<end>"
+
+
+class MarkovChainGenerator:
+    """First-order Markov chain over path token sequences."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = np.random.default_rng(seed)
+        self._transitions: dict[str, tuple[list[str], np.ndarray]] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    def fit(self, paths: list[tuple[str, ...]]) -> "MarkovChainGenerator":
+        """Estimate transition probabilities from real sampled paths."""
+        if not paths:
+            raise ValueError("cannot fit a Markov chain on zero paths")
+        counts: dict[str, dict[str, int]] = {}
+        for path in paths:
+            if not path:
+                continue
+            chain = [_START, *path, _END]
+            for cur, nxt in zip(chain, chain[1:]):
+                counts.setdefault(cur, {}).setdefault(nxt, 0)
+                counts[cur][nxt] += 1
+        self._transitions = {}
+        for state, nxt_counts in counts.items():
+            tokens = sorted(nxt_counts)
+            freqs = np.array([nxt_counts[t] for t in tokens], dtype=np.float64)
+            self._transitions[state] = (tokens, freqs / freqs.sum())
+        self._fitted = True
+        return self
+
+    @property
+    def states(self) -> list[str]:
+        return sorted(self._transitions)
+
+    def transition_probs(self, state: str) -> dict[str, float]:
+        """Conditional next-token distribution for ``state``."""
+        tokens, probs = self._transitions[state]
+        return dict(zip(tokens, probs))
+
+    # ------------------------------------------------------------------ #
+    def generate_one(self, max_len: int = 64) -> tuple[str, ...]:
+        """Draw a single path from the chain."""
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before generation")
+        state = _START
+        out: list[str] = []
+        while len(out) < max_len:
+            tokens, probs = self._transitions.get(state, ((), None))
+            if not tokens:
+                break
+            state = self._rng.choice(tokens, p=probs)
+            if state == _END:
+                break
+            out.append(state)
+        return tuple(out)
+
+    def generate(self, count: int, max_len: int = 64, min_len: int = 2,
+                 exclude: set[tuple[str, ...]] | None = None,
+                 max_attempts_factor: int = 50) -> list[tuple[str, ...]]:
+        """Generate up to ``count`` unique paths not present in ``exclude``."""
+        exclude = set(exclude or ())
+        out: list[tuple[str, ...]] = []
+        seen = set(exclude)
+        attempts = 0
+        limit = count * max_attempts_factor
+        while len(out) < count and attempts < limit:
+            attempts += 1
+            path = self.generate_one(max_len=max_len)
+            if len(path) < min_len or path in seen:
+                continue
+            seen.add(path)
+            out.append(path)
+        return out

@@ -1,0 +1,227 @@
+"""SeqGAN circuit-path generation (Section 4.2.2, Yu et al. 2017).
+
+A GRU generator proposes token sequences; a GRU discriminator scores
+real-vs-generated; the generator trains with policy gradients (REINFORCE)
+using the discriminator's score as reward.  Following the original
+recipe, the generator is first pretrained with maximum likelihood on the
+real sampled paths.
+
+Simplification vs the original paper: rewards are computed on complete
+sequences rather than via Monte-Carlo rollouts per step — adequate for
+the short (<=64 token) path sequences involved, and orders of magnitude
+cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..graphir import Vocabulary
+
+__all__ = ["SeqGANConfig", "SeqGAN"]
+
+
+@dataclass(frozen=True)
+class SeqGANConfig:
+    embedding_size: int = 32
+    hidden_size: int = 64
+    max_len: int = 32
+    pretrain_epochs: int = 30
+    adversarial_rounds: int = 10
+    disc_steps_per_round: int = 2
+    batch_size: int = 32
+    gen_lr: float = 0.01
+    disc_lr: float = 0.005
+
+
+class _Generator(nn.Module):
+    def __init__(self, vocab_size: int, cfg: SeqGANConfig, rng: np.random.Generator):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, cfg.embedding_size, rng=rng)
+        self.gru = nn.GRUCell(cfg.embedding_size, cfg.hidden_size, rng=rng)
+        self.proj = nn.Linear(cfg.hidden_size, vocab_size, rng=rng)
+        self.hidden_size = cfg.hidden_size
+
+
+class _Discriminator(nn.Module):
+    def __init__(self, vocab_size: int, cfg: SeqGANConfig, rng: np.random.Generator):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, cfg.embedding_size, rng=rng)
+        self.gru = nn.GRU(cfg.embedding_size, cfg.hidden_size, rng=rng)
+        self.proj = nn.Linear(cfg.hidden_size, 1, rng=rng)
+
+    def forward(self, ids: np.ndarray) -> nn.Tensor:
+        x = self.embed(ids)
+        _, h = self.gru(x)
+        return self.proj(h).sigmoid().reshape(ids.shape[0])
+
+
+class SeqGAN:
+    """Sequence GAN over circuit-path tokens."""
+
+    def __init__(self, vocab: Vocabulary | None = None,
+                 config: SeqGANConfig | None = None, seed: int = 0):
+        self.vocab = vocab or Vocabulary.standard()
+        self.config = config or SeqGANConfig()
+        self._rng = np.random.default_rng(seed)
+        v = len(self.vocab)
+        self.generator = _Generator(v, self.config, self._rng)
+        self.discriminator = _Discriminator(v, self.config, self._rng)
+        self._fitted = False
+        self.history: list[dict[str, float]] = []
+
+    # ------------------------------------------------------------------ #
+    # Encoding helpers
+    # ------------------------------------------------------------------ #
+    def _encode(self, paths: list[tuple[str, ...]]) -> np.ndarray:
+        """Pack paths into (batch, max_len+1) id arrays: CLS, tokens, PAD(end)."""
+        L = self.config.max_len
+        ids = np.full((len(paths), L + 1), self.vocab.PAD, dtype=np.int64)
+        ids[:, 0] = self.vocab.CLS
+        for i, path in enumerate(paths):
+            enc = self.vocab.encode(list(path)[:L])
+            ids[i, 1:1 + len(enc)] = enc
+        return ids
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def fit(self, paths: list[tuple[str, ...]]) -> "SeqGAN":
+        """Pretrain with MLE, then adversarial policy-gradient rounds."""
+        if not paths:
+            raise ValueError("cannot fit SeqGAN on zero paths")
+        real_ids = self._encode(paths)
+        self._pretrain(real_ids)
+        self._adversarial(real_ids)
+        self._fitted = True
+        return self
+
+    def _pretrain(self, real_ids: np.ndarray) -> None:
+        cfg = self.config
+        opt = nn.Adam(self.generator.parameters(), lr=cfg.gen_lr)
+        n = real_ids.shape[0]
+        for epoch in range(cfg.pretrain_epochs):
+            idx = self._rng.permutation(n)[:cfg.batch_size]
+            batch = real_ids[idx]
+            loss = self._mle_loss(batch)
+            opt.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(self.generator.parameters(), 5.0)
+            opt.step()
+            self.history.append({"phase": 0.0, "epoch": float(epoch),
+                                 "loss": loss.item()})
+
+    def _mle_loss(self, ids: np.ndarray) -> nn.Tensor:
+        """Teacher-forced next-token cross-entropy."""
+        batch, length = ids.shape
+        h = nn.Tensor(np.zeros((batch, self.generator.hidden_size)))
+        losses = []
+        for t in range(length - 1):
+            x = self.generator.embed(ids[:, t])
+            h = self.generator.gru(x, h)
+            logits = self.generator.proj(h)
+            losses.append(nn.cross_entropy(logits, ids[:, t + 1]))
+        total = losses[0]
+        for piece in losses[1:]:
+            total = total + piece
+        return total * (1.0 / len(losses))
+
+    def _adversarial(self, real_ids: np.ndarray) -> None:
+        cfg = self.config
+        g_opt = nn.Adam(self.generator.parameters(), lr=cfg.gen_lr * 0.1)
+        d_opt = nn.Adam(self.discriminator.parameters(), lr=cfg.disc_lr)
+        n = real_ids.shape[0]
+        for round_idx in range(cfg.adversarial_rounds):
+            # --- Discriminator updates --------------------------------- #
+            for _ in range(cfg.disc_steps_per_round):
+                fake_ids, _ = self._rollout(cfg.batch_size)
+                idx = self._rng.permutation(n)[:cfg.batch_size]
+                both = np.concatenate([real_ids[idx], fake_ids], axis=0)
+                labels = np.concatenate([
+                    np.ones(len(idx)), np.zeros(len(fake_ids))])
+                probs = self.discriminator(both)
+                d_loss = nn.binary_cross_entropy(probs, labels)
+                d_opt.zero_grad()
+                d_loss.backward()
+                d_opt.step()
+            # --- Generator policy-gradient update ----------------------- #
+            fake_ids, log_probs = self._rollout(cfg.batch_size)
+            with nn.no_grad():
+                rewards = self.discriminator(fake_ids).numpy()
+            advantage = rewards - rewards.mean()
+            pg_loss = -(log_probs * nn.Tensor(advantage)).mean()
+            g_opt.zero_grad()
+            pg_loss.backward()
+            nn.clip_grad_norm(self.generator.parameters(), 5.0)
+            g_opt.step()
+            self.history.append({"phase": 1.0, "epoch": float(round_idx),
+                                 "loss": d_loss.item(),
+                                 "reward": float(rewards.mean())})
+
+    def _rollout(self, batch: int) -> tuple[np.ndarray, nn.Tensor]:
+        """Sample sequences from the generator; returns ids and summed log-probs."""
+        cfg = self.config
+        L = cfg.max_len
+        ids = np.full((batch, L + 1), self.vocab.PAD, dtype=np.int64)
+        ids[:, 0] = self.vocab.CLS
+        h = nn.Tensor(np.zeros((batch, self.generator.hidden_size)))
+        done = np.zeros(batch, dtype=bool)
+        step_log_probs = []
+        for t in range(L):
+            x = self.generator.embed(ids[:, t])
+            h = self.generator.gru(x, h)
+            logits = self.generator.proj(h)
+            probs = logits.softmax(axis=-1).numpy()
+            # Never sample CLS mid-sequence.
+            probs[:, self.vocab.CLS] = 0.0
+            probs /= probs.sum(axis=1, keepdims=True)
+            choices = np.array([
+                self._rng.choice(len(p), p=p) for p in probs
+            ])
+            choices[done] = self.vocab.PAD
+            ids[:, t + 1] = choices
+            log_prob = logits.log_softmax(axis=-1)[np.arange(batch), choices]
+            step_log_probs.append(log_prob * nn.Tensor((~done).astype(float)))
+            done |= choices == self.vocab.PAD
+            if done.all():
+                break
+        total = step_log_probs[0]
+        for piece in step_log_probs[1:]:
+            total = total + piece
+        return ids, total
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, count: int, min_len: int = 2,
+                 exclude: set[tuple[str, ...]] | None = None,
+                 max_attempts_factor: int = 20) -> list[tuple[str, ...]]:
+        """Generate up to ``count`` unique paths absent from ``exclude``."""
+        if not self._fitted:
+            raise RuntimeError("fit() must be called before generation")
+        exclude = set(exclude or ())
+        seen = set(exclude)
+        out: list[tuple[str, ...]] = []
+        attempts = 0
+        limit = max(count * max_attempts_factor, 1)
+        while len(out) < count and attempts < limit:
+            attempts += 1
+            with nn.no_grad():
+                ids, _ = self._rollout(min(self.config.batch_size, count))
+            for row in ids:
+                tokens = []
+                for tid in row[1:]:
+                    if tid == self.vocab.PAD:
+                        break
+                    tokens.append(self.vocab.token_of(int(tid)))
+                path = tuple(tokens)
+                if len(path) < min_len or path in seen:
+                    continue
+                seen.add(path)
+                out.append(path)
+                if len(out) >= count:
+                    break
+        return out

@@ -1,0 +1,34 @@
+"""``repro.designs`` — the hardware design dataset (Table 3 of the paper).
+
+Parameterizable design generators across every category the paper draws
+from Chipyard / NVDLA / MachSuite, plus a registry (`standard_designs`)
+that instantiates the 41 concrete evaluation designs.
+"""
+
+from .cores import SodorCore, RocketCore, ArianeCore
+from .peripherals import IceNetNIC, GPIOController
+from .mlacc import GemminiSystolicArray, NVDLAConvCore
+from .vector import SIMDALU, HwachaVectorUnit
+from .dsp import FFTPipeline, Convolution2D
+from .crypto import AESRound, Sha3Round
+from .linalg import GEMMUnit, SPMVUnit
+from .sorting import MergeSortNetwork, RadixSortUnit
+from .approx import LookupTable, PiecewiseApprox
+from .misc import FPUnit, Stencil2DAccelerator, ViterbiDecoder
+from .memory import CacheController, DMAEngine
+from .registry import DesignEntry, standard_designs, design_families, get_design
+
+__all__ = [
+    "SodorCore", "RocketCore", "ArianeCore",
+    "IceNetNIC", "GPIOController",
+    "GemminiSystolicArray", "NVDLAConvCore",
+    "SIMDALU", "HwachaVectorUnit",
+    "FFTPipeline", "Convolution2D",
+    "AESRound", "Sha3Round",
+    "GEMMUnit", "SPMVUnit",
+    "MergeSortNetwork", "RadixSortUnit",
+    "LookupTable", "PiecewiseApprox",
+    "FPUnit", "Stencil2DAccelerator", "ViterbiDecoder",
+    "CacheController", "DMAEngine",
+    "DesignEntry", "standard_designs", "design_families", "get_design",
+]

@@ -1,0 +1,64 @@
+"""Non-linear function approximation (Table 3: lookup tables, piecewise).
+
+Includes the paper's smallest benchmark shape — a 128-entry 8-bit lookup
+table (Section 5.4 / Figure 7 highlights).
+"""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, mux_tree
+
+__all__ = ["LookupTable", "PiecewiseApprox"]
+
+
+class LookupTable(Module):
+    """A loadable N-entry lookup table: register array + read mux tree."""
+
+    def __init__(self, entries: int = 128, width: int = 8):
+        super().__init__(entries=entries, width=width)
+
+    def build(self, c: Circuit) -> None:
+        entries, w = self.params["entries"], self.params["width"]
+        addr_w = max((entries - 1).bit_length(), 1)
+        wdata = c.input("wdata", w)
+        waddr = c.input("waddr", addr_w)
+        raddr = c.input("raddr", addr_w)
+        rows = []
+        for i in range(entries):
+            row = c.reg_declare(w, f"lut{i}")
+            c.connect_next(row, c.mux(waddr.eq(i), wdata, row))
+            rows.append(row)
+        c.output("rdata", c.reg(mux_tree(c, raddr, rows), "rdata"))
+
+
+class PiecewiseApprox(Module):
+    """Piecewise-linear approximation: breakpoint compare ladder + slope MAC.
+
+    This is the NFU-3 activation structure of DianNao: breakpoints,
+    slopes, and offsets in small tables, one multiply-add per evaluation.
+    """
+
+    def __init__(self, segments: int = 8, width: int = 16):
+        super().__init__(segments=segments, width=width)
+
+    def build(self, c: Circuit) -> None:
+        segs, w = self.params["segments"], self.params["width"]
+        x = c.input("x", w)
+        # Segment select: compare against each breakpoint register.
+        breakpoints = [c.reg(c.input(f"bp{i}", w), f"bp_reg{i}") for i in range(segs)]
+        above = [x.gt(bp) for bp in breakpoints]
+        seg_index = above[0].resized(max((segs - 1).bit_length(), 1))
+        for a in above[1:]:
+            seg_index = seg_index + a.resized(seg_index.width)
+        # Slope/offset tables.
+        slopes = [c.reg(c.input(f"sl{i}", w), f"sl_reg{i}") for i in range(segs)]
+        offsets = [c.reg(c.input(f"of{i}", w), f"of_reg{i}") for i in range(segs)]
+        slope = mux_tree(c, seg_index, slopes)
+        offset = mux_tree(c, seg_index, offsets)
+        y = (x * slope).resized(w) + offset
+        c.output("y", c.reg(y, "y_reg"))
+        # On-line slope calibration: recompute slope = dy / dx for the
+        # active segment from its endpoints.
+        dy = c.input("cal_dy", w)
+        dx = c.input("cal_dx", w)
+        c.output("cal_slope", c.reg(dy // dx, "cal_reg"))

@@ -1,0 +1,169 @@
+"""Processor-core designs (Table 3: Rocket, Ariane, Sodor).
+
+These are structural stand-ins for the open-source RISC-V cores the paper
+collects from Chipyard: in-order pipelines with fetch, decode, register
+file, ALU, and writeback stages at realistic relative complexity
+(Sodor < Rocket < Ariane).
+"""
+
+from __future__ import annotations
+
+from ..hdl import (
+    Circuit,
+    Module,
+    counter,
+    mux_tree,
+    pipeline,
+    register_file,
+)
+
+__all__ = ["SodorCore", "RocketCore", "ArianeCore"]
+
+
+def _alu(c: Circuit, a, b, op_sel):
+    """A classic single-cycle ALU: add/sub/logic/shift/compare behind a mux."""
+    results = [
+        a + b,
+        a - b,
+        a & b,
+        a | b,
+        a ^ b,
+        a << b.resized(6),
+        a >> b.resized(6),
+        c.mux(a.lt(b), (a ^ a) + 1, a ^ a),  # slt
+    ]
+    return mux_tree(c, op_sel, results)
+
+
+def _decoder(c: Circuit, instr, out_width: int):
+    """Instruction decode: field extraction and control signal logic."""
+    opcode = (instr >> 0).resized(7)
+    funct3 = (instr >> 12).resized(3)
+    funct7 = (instr >> 25).resized(7)
+    rs1 = (instr >> 15).resized(5)
+    rs2 = (instr >> 20).resized(5)
+    rd = (instr >> 7).resized(5)
+    imm = (instr >> 20).resized(out_width)
+    is_alu = opcode.eq(0x33) | opcode.eq(0x13)
+    is_load = opcode.eq(0x03)
+    is_store = opcode.eq(0x23)
+    is_branch = opcode.eq(0x63)
+    ctrl = (funct3 ^ funct7.resized(3)) | (is_alu | is_branch).resized(3)
+    return rs1, rs2, rd, imm, ctrl, is_load, is_store, is_branch
+
+
+class SodorCore(Module):
+    """A minimal 3-stage in-order educational core (Sodor-like)."""
+
+    def __init__(self, xlen: int = 32):
+        super().__init__(xlen=xlen)
+
+    def build(self, c: Circuit) -> None:
+        xlen = self.params["xlen"]
+        # Fetch: PC + instruction input port.
+        pc = counter(c, xlen, "pc")
+        instr = c.reg(c.input("imem_data", 32), "if_ir")
+        # Decode + register file read.
+        rs1, rs2, rd, imm, ctrl, is_load, is_store, is_branch = _decoder(c, instr, xlen)
+        wdata = c.input("wb_data", xlen)
+        r1 = register_file(c, wdata, rd, rs1, depth=8, label="rf_r1")
+        r2 = register_file(c, wdata, rd, rs2, depth=8, label="rf_r2")
+        # Execute.
+        opnd_b = c.mux(is_load | is_store, imm, r2)
+        result = _alu(c, r1, opnd_b, ctrl)
+        taken = r1.eq(r2) & is_branch
+        next_pc = c.mux(taken, pc + imm, pc + 4)
+        c.output("pc_out", c.reg(next_pc, "pc_next"))
+        c.output("result", c.reg(result, "wb"))
+
+
+class RocketCore(Module):
+    """A 5-stage in-order core with bypass network (Rocket-like)."""
+
+    def __init__(self, xlen: int = 64, rf_depth: int = 16):
+        super().__init__(xlen=xlen, rf_depth=rf_depth)
+
+    def build(self, c: Circuit) -> None:
+        xlen = self.params["xlen"]
+        depth = self.params["rf_depth"]
+        # IF
+        pc = counter(c, xlen, "pc")
+        instr = c.reg(c.input("imem_data", 32), "if_ir")
+        # ID
+        rs1, rs2, rd, imm, ctrl, is_load, is_store, is_branch = _decoder(c, instr, xlen)
+        wdata = c.input("wb_data", xlen)
+        r1 = register_file(c, wdata, rd, rs1, depth=depth, label="rf_a")
+        r2 = register_file(c, wdata, rd, rs2, depth=depth, label="rf_b")
+        id_ex_r1 = c.reg(r1, "id_ex_r1")
+        id_ex_r2 = c.reg(r2, "id_ex_r2")
+        id_ex_imm = c.reg(imm, "id_ex_imm")
+        # EX with bypass from MEM/WB.
+        mem_fwd = c.input("mem_fwd", xlen)
+        bypass_a = c.mux(rs1.eq(rd), mem_fwd, id_ex_r1)
+        bypass_b = c.mux(rs2.eq(rd), mem_fwd, id_ex_r2)
+        opnd_b = c.mux(is_load | is_store, id_ex_imm, bypass_b)
+        result = _alu(c, bypass_a, opnd_b, ctrl)
+        # M extension: multiplier plus a word-width (divw-style) divider —
+        # full-width division is iterative in real cores and would not sit
+        # on the single-cycle critical path.
+        mul_lo = (bypass_a * bypass_b).resized(xlen)
+        half = max(xlen // 2, 8)
+        div_q = (bypass_a.resized(half) // bypass_b.resized(half)).resized(xlen)
+        rem = (bypass_a.resized(half) % bypass_b.resized(half)).resized(xlen)
+        muldiv = mux_tree(c, ctrl.resized(2), [mul_lo, div_q, rem, mul_lo])
+        ex_out = c.mux(ctrl.eq(7), muldiv, result)
+        ex_mem = c.reg(ex_out, "ex_mem")
+        # MEM: address generation + data select.
+        addr = bypass_a + id_ex_imm
+        mem_data = c.input("dmem_data", xlen)
+        mem_out = c.mux(is_load, mem_data, ex_mem)
+        mem_wb = c.reg(mem_out, "mem_wb")
+        # Branch resolution back to fetch.
+        taken = bypass_a.eq(bypass_b) & is_branch
+        next_pc = c.mux(taken, pc + id_ex_imm, pc + 4)
+        c.output("pc_out", c.reg(next_pc, "pc_next"))
+        c.output("dmem_addr", c.reg(addr, "dmem_addr"))
+        c.output("wb_out", mem_wb)
+
+
+class ArianeCore(Module):
+    """A 6-stage core with scoreboard and branch target buffer (Ariane-like)."""
+
+    def __init__(self, xlen: int = 64, rf_depth: int = 32, btb_entries: int = 8):
+        super().__init__(xlen=xlen, rf_depth=rf_depth, btb_entries=btb_entries)
+
+    def build(self, c: Circuit) -> None:
+        xlen = self.params["xlen"]
+        depth = self.params["rf_depth"]
+        btb = self.params["btb_entries"]
+        # Frontend with BTB.
+        pc = counter(c, xlen, "pc")
+        btb_idx = pc.resized(max(btb.bit_length() - 1, 1))
+        btb_target = register_file(c, pc, btb_idx, btb_idx, depth=btb, label="btb")
+        instr = c.reg(c.input("imem_data", 32), "if_ir")
+        # Decode.
+        rs1, rs2, rd, imm, ctrl, is_load, is_store, is_branch = _decoder(c, instr, xlen)
+        # Scoreboard: per-register busy bits.
+        busy_bits = [c.reg(rd.eq(i), f"sb{i}") for i in range(min(depth, 16))]
+        stall = busy_bits[0]
+        for bit in busy_bits[1:]:
+            stall = stall | bit
+        # Issue / regfile.
+        wdata = c.input("wb_data", xlen)
+        r1 = register_file(c, wdata, rd, rs1, depth=depth, label="rf_a")
+        r2 = register_file(c, wdata, rd, rs2, depth=depth, label="rf_b")
+        iss_r1 = c.reg(r1, "iss_r1")
+        iss_r2 = c.reg(r2, "iss_r2")
+        # Execute: ALU + multiplier + divider.
+        opnd_b = c.mux(is_load | is_store, imm, iss_r2)
+        alu_out = _alu(c, iss_r1, opnd_b, ctrl)
+        mul_out = (iss_r1 * iss_r2).resized(xlen)
+        div_out = iss_r1 // iss_r2
+        ex_out = mux_tree(c, ctrl, [alu_out, mul_out, div_out, alu_out])
+        ex_out = c.mux(stall, iss_r1, ex_out)
+        ex_pipe = pipeline(c, ex_out, 2, "ex_pipe")
+        # Commit.
+        taken = iss_r1.eq(iss_r2) & is_branch
+        next_pc = c.mux(taken, btb_target, pc + 4)
+        c.output("pc_out", c.reg(next_pc, "pc_next"))
+        c.output("commit", c.reg(ex_pipe, "commit"))

@@ -1,0 +1,88 @@
+"""Cryptographic designs (Table 3: AES, SHA-3)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, Signal
+
+__all__ = ["AESRound", "Sha3Round"]
+
+
+def _sbox(c: Circuit, byte: Signal, tag: str) -> Signal:
+    """A composite-field style S-box: a small fixed network of xor/and layers.
+
+    Logic-minimized AES S-boxes are ~120 gates of GF(2^8) inversion plus
+    an affine transform; we model that depth and mix with three
+    nonlinear layers over the byte.
+    """
+    t1 = (byte ^ (byte << 1)) & (byte >> 2)
+    t2 = (t1 | (byte >> 4)) ^ byte
+    t3 = (t2 & (t2 << 3)) ^ (byte >> 1)
+    affine = (t3 ^ (t3 << 2)) ^ 0x63
+    return affine
+
+
+class AESRound(Module):
+    """One AES-128 round: SubBytes, ShiftRows, MixColumns, AddRoundKey."""
+
+    def __init__(self, rounds: int = 1):
+        super().__init__(rounds=rounds)
+
+    def build(self, c: Circuit) -> None:
+        rounds = self.params["rounds"]
+        state = [c.input(f"s{i}", 8) for i in range(16)]
+        for rnd in range(rounds):
+            # SubBytes.
+            state = [_sbox(c, b, f"r{rnd}b{i}") for i, b in enumerate(state)]
+            # ShiftRows: pure wiring permutation.
+            perm = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+            state = [state[p] for p in perm]
+            # MixColumns: xtime = shift+conditional xor per byte.
+            mixed = []
+            for col in range(4):
+                a = state[4 * col: 4 * col + 4]
+                x = [ (b << 1) ^ (b >> 7) for b in a ]  # xtime
+                mixed.extend([
+                    x[0] ^ (a[1] ^ x[1]) ^ a[2] ^ a[3],
+                    a[0] ^ x[1] ^ (a[2] ^ x[2]) ^ a[3],
+                    a[0] ^ a[1] ^ x[2] ^ (a[3] ^ x[3]),
+                    (a[0] ^ x[0]) ^ a[1] ^ a[2] ^ x[3],
+                ])
+            # AddRoundKey + round register.
+            keys = [c.input(f"k{rnd}_{i}", 8) for i in range(16)]
+            state = [c.reg(m ^ k, f"r{rnd}st{i}")
+                     for i, (m, k) in enumerate(zip(mixed, keys))]
+        for i, b in enumerate(state):
+            c.output(f"o{i}", b)
+
+
+class Sha3Round(Module):
+    """One Keccak-f round over a 5x5x64 state: theta, rho/pi, chi, iota."""
+
+    def __init__(self, lanes_width: int = 64):
+        super().__init__(lanes_width=lanes_width)
+
+    def build(self, c: Circuit) -> None:
+        w = self.params["lanes_width"]
+        lanes = [[c.input(f"a{x}{y}", w) for y in range(5)] for x in range(5)]
+        # Theta: column parity then mix.
+        parity = []
+        for x in range(5):
+            p = lanes[x][0]
+            for y in range(1, 5):
+                p = p ^ lanes[x][y]
+            parity.append(p)
+        themed = [[lanes[x][y] ^ parity[(x - 1) % 5] ^ (parity[(x + 1) % 5] << 1)
+                   for y in range(5)] for x in range(5)]
+        # Rho/pi: per-lane rotations (shift nodes) + permutation.
+        rotated = [[themed[x][y] << ((x * 5 + y * 7) % w or 1) for y in range(5)]
+                   for x in range(5)]
+        pied = [[rotated[(x + 3 * y) % 5][x] for y in range(5)] for x in range(5)]
+        # Chi: a ^= (~b & c) along rows.
+        chied = [[pied[x][y] ^ (~pied[(x + 1) % 5][y] & pied[(x + 2) % 5][y])
+                  for y in range(5)] for x in range(5)]
+        # Iota + output registers.
+        rc = c.input("round_const", w)
+        chied[0][0] = chied[0][0] ^ rc
+        for x in range(5):
+            for y in range(5):
+                c.output(f"o{x}{y}", c.reg(chied[x][y], f"st{x}{y}"))

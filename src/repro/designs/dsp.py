@@ -1,0 +1,73 @@
+"""Signal-processing kernels (Table 3: FFT, Convolution)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, adder_tree, pipeline, shift_register
+
+__all__ = ["FFTPipeline", "Convolution2D"]
+
+
+class FFTPipeline(Module):
+    """A radix-2 decimation-in-time FFT datapath, one butterfly column per stage.
+
+    Complex arithmetic uses the 4-multiplier form; each stage is
+    pipeline-registered, matching streaming FFT implementations.
+    """
+
+    def __init__(self, points: int = 16, width: int = 16):
+        super().__init__(points=points, width=width)
+
+    def build(self, c: Circuit) -> None:
+        import math
+
+        points = self.params["points"]
+        w = self.params["width"]
+        stages = int(math.log2(points))
+        re = [c.input(f"re{i}", w) for i in range(points)]
+        im = [c.input(f"im{i}", w) for i in range(points)]
+        for s in range(stages):
+            span = 1 << s
+            new_re, new_im = list(re), list(im)
+            for i in range(0, points, 2 * span):
+                for j in range(span):
+                    a, b = i + j, i + j + span
+                    # Twiddle rotation of input b (4 muls, 2 adds).
+                    tw_re = c.input(f"twr_s{s}_{b}", w)
+                    tw_im = c.input(f"twi_s{s}_{b}", w)
+                    br = ((re[b] * tw_re) - (im[b] * tw_im)).resized(w)
+                    bi = ((re[b] * tw_im) + (im[b] * tw_re)).resized(w)
+                    new_re[a] = c.reg(re[a] + br, f"s{s}re{a}")
+                    new_im[a] = c.reg(im[a] + bi, f"s{s}im{a}")
+                    new_re[b] = c.reg(re[a] - br, f"s{s}re{b}")
+                    new_im[b] = c.reg(im[a] - bi, f"s{s}im{b}")
+            re, im = new_re, new_im
+        for i in range(points):
+            c.output(f"Xre{i}", re[i])
+            c.output(f"Xim{i}", im[i])
+
+
+class Convolution2D(Module):
+    """A 2D convolution window engine: line-buffer taps into a MAC tree."""
+
+    def __init__(self, kernel: int = 3, width: int = 16, unroll: int = 1):
+        super().__init__(kernel=kernel, width=width, unroll=unroll)
+
+    def build(self, c: Circuit) -> None:
+        k = self.params["kernel"]
+        w = self.params["width"]
+        unroll = self.params["unroll"]
+        acc_w = min(2 * w + 4, 64)
+        for u in range(unroll):
+            pixel = c.input(f"pixel{u}", w)
+            # k line buffers feeding a k x k tap window.
+            taps = []
+            row_in = pixel
+            for r in range(k):
+                row_taps = shift_register(c, row_in, k, f"win{u}_{r}")
+                taps.extend(row_taps)
+                row_in = row_taps[-1]
+            coeffs = [c.reg(c.input(f"coef{u}_{i}", w), f"coefreg{u}_{i}")
+                      for i in range(k * k)]
+            prods = [(t * cf).resized(acc_w) for t, cf in zip(taps, coeffs)]
+            total = pipeline(c, adder_tree(c, prods), 1, f"conv_pipe{u}")
+            c.output(f"conv_out{u}", total)

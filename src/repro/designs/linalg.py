@@ -1,0 +1,58 @@
+"""Linear-algebra kernels (Table 3: GEMM, SPMV)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, adder_tree, pipeline
+
+__all__ = ["GEMMUnit", "SPMVUnit"]
+
+
+class GEMMUnit(Module):
+    """A dense matrix-multiply tile: rows x cols dot-product engines."""
+
+    def __init__(self, rows: int = 4, cols: int = 4, depth: int = 4, width: int = 16):
+        super().__init__(rows=rows, cols=cols, depth=depth, width=width)
+
+    def build(self, c: Circuit) -> None:
+        rows, cols = self.params["rows"], self.params["cols"]
+        depth, w = self.params["depth"], self.params["width"]
+        acc_w = min(2 * w + 8, 64)
+        a = [[c.input(f"a{r}_{k}", w) for k in range(depth)] for r in range(rows)]
+        b = [[c.input(f"b{k}_{j}", w) for k in range(depth)] for j in range(cols)]
+        for r in range(rows):
+            for j in range(cols):
+                prods = [(a[r][k] * b[j][k]).resized(acc_w) for k in range(depth)]
+                dot = adder_tree(c, prods)
+                acc = c.reg_declare(acc_w, f"cacc{r}_{j}")
+                c.connect_next(acc, acc + dot)
+                c.output(f"c{r}_{j}", acc)
+
+
+class SPMVUnit(Module):
+    """Sparse matrix-vector multiply: index match, gather mux, MAC chain."""
+
+    def __init__(self, lanes: int = 4, width: int = 32, vec_entries: int = 8):
+        super().__init__(lanes=lanes, width=width, vec_entries=vec_entries)
+
+    def build(self, c: Circuit) -> None:
+        from ..hdl import mux_tree
+
+        lanes = self.params["lanes"]
+        w = self.params["width"]
+        entries = self.params["vec_entries"]
+        acc_w = min(2 * w, 64)
+        # Dense vector x held in registers.
+        x_regs = [c.reg(c.input(f"x{i}", w), f"xreg{i}") for i in range(entries)]
+        partials = []
+        for lane in range(lanes):
+            val = c.input(f"val{lane}", w)
+            col = c.input(f"col{lane}", 8)
+            gathered = mux_tree(c, col, x_regs)
+            row_end = c.input(f"row_end{lane}", 1)
+            prod = (val * gathered).resized(acc_w)
+            acc = c.reg_declare(acc_w, f"yacc{lane}")
+            flushed = c.mux(row_end, prod, acc + prod)
+            c.connect_next(acc, flushed)
+            partials.append(acc)
+        total = pipeline(c, adder_tree(c, partials), 1, "y_pipe")
+        c.output("y_out", total)

@@ -1,0 +1,117 @@
+"""Memory-subsystem components: a set-associative cache controller and a
+DMA engine.
+
+Not part of the fixed 41-design evaluation dataset (Table 3), but
+commonly needed building blocks for user SoCs explored with
+:mod:`repro.dse`.
+"""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, counter, mux_tree, priority_arbiter, reduce_tree
+
+__all__ = ["CacheController", "DMAEngine"]
+
+
+class CacheController(Module):
+    """A set-associative cache lookup path: tag compare, way select, LRU.
+
+    Models the synthesis-relevant structure — tag array (register rows at
+    reduced density), per-way comparators, way-select mux, LRU counters,
+    and a write-back dirty tracker.
+    """
+
+    def __init__(self, ways: int = 4, sets: int = 8, tag_bits: int = 20,
+                 line_bits: int = 64):
+        super().__init__(ways=ways, sets=sets, tag_bits=tag_bits,
+                         line_bits=line_bits)
+
+    def build(self, c: Circuit) -> None:
+        ways = self.params["ways"]
+        sets = self.params["sets"]
+        tag_w = self.params["tag_bits"]
+        line_w = self.params["line_bits"]
+        index_w = max((sets - 1).bit_length(), 1)
+
+        addr = c.input("addr", 32)
+        wdata = c.input("wdata", line_w)
+        index = addr.resized(index_w)
+        tag = (addr >> index_w).resized(tag_w)
+
+        hits = []
+        lines = []
+        for way in range(ways):
+            # Tag array row per set (reduced density: area scales with
+            # ways x sets regardless).
+            rows = []
+            for s in range(sets):
+                row = c.reg_declare(tag_w, f"tag{way}_{s}")
+                c.connect_next(row, c.mux(index.eq(s), tag, row))
+                rows.append(row)
+            stored_tag = mux_tree(c, index, rows)
+            valid = c.reg_declare(1, f"valid{way}")
+            c.connect_next(valid, valid | index.eq(0))
+            hit = stored_tag.eq(tag) & valid
+            hits.append(hit)
+            # Data line register (one per way at reduced density).
+            line = c.reg_declare(line_w, f"data{way}")
+            c.connect_next(line, c.mux(hit, wdata, line))
+            lines.append(c.mux(hit, line, line ^ line))
+        any_hit = reduce_tree(c, hits, "or")
+        # Way-select: OR of per-way gated lines.
+        rdata = reduce_tree(c, lines, "or")
+        # LRU: one counter per way, reset on hit.
+        lru_victims = []
+        for way, hit in enumerate(hits):
+            age = c.reg_declare(8, f"lru{way}")
+            c.connect_next(age, c.mux(hit, age ^ age, age + 1))
+            lru_victims.append(age)
+        oldest = lru_victims[0]
+        for age in lru_victims[1:]:
+            oldest = c.mux(oldest.gt(age), oldest, age)
+        # Dirty/writeback tracking.
+        dirty = c.reg_declare(ways, "dirty")
+        c.connect_next(dirty, dirty | any_hit.resized(ways))
+        c.output("hit", c.reg(any_hit, "hit_r"))
+        c.output("rdata", c.reg(rdata, "rdata_r"))
+        c.output("victim_age", c.reg(oldest, "victim_r"))
+
+
+class DMAEngine(Module):
+    """A multi-channel DMA engine: per-channel address generators,
+    length counters, a priority arbiter, and a data aligner."""
+
+    def __init__(self, channels: int = 4, addr_bits: int = 32,
+                 data_bits: int = 64):
+        super().__init__(channels=channels, addr_bits=addr_bits,
+                         data_bits=data_bits)
+
+    def build(self, c: Circuit) -> None:
+        channels = self.params["channels"]
+        addr_w = self.params["addr_bits"]
+        data_w = self.params["data_bits"]
+
+        requests = []
+        sources = []
+        for ch in range(channels):
+            start = c.input(f"start{ch}", addr_w)
+            length = c.input(f"len{ch}", 16)
+            src = c.reg_declare(addr_w, f"src{ch}")
+            c.connect_next(src, src + (data_w // 8))
+            remaining = c.reg_declare(16, f"rem{ch}")
+            c.connect_next(remaining, c.mux(remaining.eq(0), length, remaining - 1))
+            busy = ~remaining.eq(0)
+            requests.append(busy)
+            sources.append(src + start.resized(addr_w))
+        grants = priority_arbiter(c, requests)
+        # Grant-gated address onto the shared bus.
+        gated = [c.mux(g, a, a ^ a) for g, a in zip(grants, sources)]
+        bus_addr = reduce_tree(c, gated, "or")
+        # Byte aligner: barrel shift by the low address bits.
+        data_in = c.input("mem_data", data_w)
+        aligned = data_in >> bus_addr.resized(3)
+        beat = counter(c, 16, "beat")
+        checksum = aligned.resized(16) ^ beat
+        c.output("bus_addr", c.reg(bus_addr, "bus_addr_r"))
+        c.output("data_out", c.reg(aligned, "data_r"))
+        c.output("csum", c.reg(checksum, "csum_r"))

@@ -1,0 +1,118 @@
+"""Remaining Table 3 designs: FP unit, Stencil2D accelerator, Viterbi."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, Signal, adder_tree, max_tree, pipeline
+
+__all__ = ["FPUnit", "Stencil2DAccelerator", "ViterbiDecoder", "fp_multiply_add"]
+
+
+def fp_multiply_add(c: Circuit, a: Signal, b: Signal, acc: Signal,
+                    exp_w: int, man_w: int, tag: str) -> Signal:
+    """A floating-point multiply-add datapath (Berkeley-Hardfloat-like).
+
+    Unpack -> exponent add / mantissa multiply -> align shift ->
+    significand add -> leading-zero normalize -> round -> pack.
+    Width bookkeeping follows the given exponent/mantissa split.
+    """
+    total_w = 1 + exp_w + man_w
+    # Unpack.
+    exp_a = (a >> man_w).resized(exp_w)
+    exp_b = (b >> man_w).resized(exp_w)
+    man_a = a.resized(man_w) | (1 << (man_w - 1) if man_w > 1 else 1)
+    man_b = b.resized(man_w) | 1
+    # Multiply path.
+    exp_sum = exp_a + exp_b
+    man_prod = man_a * man_b
+    # Align with accumulator exponent.
+    exp_acc = (acc >> man_w).resized(exp_w)
+    shift_amt = c.mux(exp_sum.gt(exp_acc), exp_sum - exp_acc, exp_acc - exp_sum)
+    aligned = man_prod >> shift_amt.resized(6)
+    # Significand add + normalize.
+    sig_sum = aligned + acc.resized(man_prod.width)
+    lz = sig_sum.reduce_or()
+    normalized = c.mux(lz, sig_sum << 1, sig_sum)
+    rounded = (normalized + 1) >> 1
+    # Pack.
+    packed = (exp_sum.resized(total_w) << man_w) | rounded.resized(man_w)
+    return packed.resized(total_w)
+
+
+class FPUnit(Module):
+    """A standalone floating-point MAC unit (fp16/bf16/fp32 by parameters)."""
+
+    def __init__(self, exp_w: int = 8, man_w: int = 24):
+        super().__init__(exp_w=exp_w, man_w=man_w)
+
+    def build(self, c: Circuit) -> None:
+        exp_w, man_w = self.params["exp_w"], self.params["man_w"]
+        total_w = 1 + exp_w + man_w
+        a = c.input("a", total_w)
+        b = c.input("b", total_w)
+        acc = c.reg_declare(total_w, "fpacc")
+        result = fp_multiply_add(c, a, b, acc, exp_w, man_w, "fpu")
+        c.connect_next(acc, result)
+        c.output("sum", acc)
+
+
+class Stencil2DAccelerator(Module):
+    """A multi-core FP 2D-stencil engine — the paper's largest benchmark.
+
+    Each core holds an unrolled 3x3 stencil of FP multiply-adds; the
+    16-core configuration is Figure 7's "16-core stencil accelerator"
+    highlight.
+    """
+
+    def __init__(self, cores: int = 4, unroll: int = 8,
+                 exp_w: int = 8, man_w: int = 24):
+        super().__init__(cores=cores, unroll=unroll, exp_w=exp_w, man_w=man_w)
+
+    def build(self, c: Circuit) -> None:
+        cores = self.params["cores"]
+        unroll = self.params["unroll"]
+        exp_w, man_w = self.params["exp_w"], self.params["man_w"]
+        total_w = min(1 + exp_w + man_w, 64)
+        for core in range(cores):
+            outputs = []
+            coeffs = [c.reg(c.input(f"c{core}_{k}", total_w), f"coef{core}_{k}")
+                      for k in range(9)]
+            for u in range(unroll):
+                pts = [c.input(f"p{core}_{u}_{k}", total_w) for k in range(9)]
+                acc = c.reg_declare(total_w, f"sacc{core}_{u}")
+                terms = []
+                for k in range(9):
+                    terms.append(fp_multiply_add(
+                        c, pts[k], coeffs[k], acc, exp_w, man_w, f"st{core}_{u}_{k}"))
+                total = adder_tree(c, [t.resized(total_w) for t in terms])
+                c.connect_next(acc, total)
+                outputs.append(acc)
+            merged = pipeline(c, adder_tree(c, outputs), 2, f"core_out{core}")
+            c.output(f"stencil{core}", merged)
+
+
+class ViterbiDecoder(Module):
+    """A Viterbi add-compare-select array over a trellis of N states."""
+
+    def __init__(self, states: int = 16, metric_w: int = 16):
+        super().__init__(states=states, metric_w=metric_w)
+
+    def build(self, c: Circuit) -> None:
+        states = self.params["states"]
+        w = self.params["metric_w"]
+        branch = [c.input(f"bm{i}", w) for i in range(states)]
+        metrics = [c.reg_declare(w, f"pm{i}") for i in range(states)]
+        new_metrics = []
+        for s in range(states):
+            # Two predecessors in a butterfly trellis.
+            p0 = metrics[(2 * s) % states]
+            p1 = metrics[(2 * s + 1) % states]
+            cand0 = p0 + branch[s]
+            cand1 = p1 + branch[(s + states // 2) % states]
+            best = c.mux(cand0.lt(cand1), cand0, cand1)
+            decision = cand0.lt(cand1)
+            c.output(f"dec{s}", c.reg(decision, f"survivor{s}"))
+            new_metrics.append(best)
+        # Metric normalization: subtract the running max.
+        peak = max_tree(c, new_metrics)
+        for s, (reg, nm) in enumerate(zip(metrics, new_metrics)):
+            c.connect_next(reg, nm - peak)

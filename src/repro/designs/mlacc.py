@@ -1,0 +1,67 @@
+"""Machine-learning accelerators (Table 3: Gemmini, NVDLA).
+
+Structural equivalents of the open-source accelerators the paper uses:
+a weight-stationary systolic array (Gemmini-like) and a convolution MAC
+engine with accumulator banks (NVDLA-like).
+"""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, adder_tree, pipeline
+
+__all__ = ["GemminiSystolicArray", "NVDLAConvCore"]
+
+
+class GemminiSystolicArray(Module):
+    """A dim x dim weight-stationary systolic MAC array."""
+
+    def __init__(self, dim: int = 8, width: int = 8):
+        super().__init__(dim=dim, width=width)
+
+    def build(self, c: Circuit) -> None:
+        dim = self.params["dim"]
+        w = self.params["width"]
+        acc_w = min(4 * w, 64)
+        # Activations stream in from the west, one per row.
+        acts = [c.input(f"act{r}", w) for r in range(dim)]
+        outs = []
+        for col in range(dim):
+            partials = []
+            for row in range(dim):
+                weight = c.reg(c.input(f"w{row}_{col}", w), f"wreg{row}_{col}")
+                act = acts[row] if col == 0 else c.reg(acts[row], f"skew{row}_{col}")
+                acts[row] = act  # systolic forwarding
+                prod = act * weight
+                partials.append(prod.resized(acc_w))
+            col_sum = adder_tree(c, partials)
+            acc = c.reg_declare(acc_w, f"acc{col}")
+            c.connect_next(acc, acc + col_sum)
+            outs.append(acc)
+        for i, o in enumerate(outs):
+            c.output(f"out{i}", o)
+
+
+class NVDLAConvCore(Module):
+    """A convolution MAC engine with output accumulator banks (NVDLA CMAC-like)."""
+
+    def __init__(self, atoms: int = 16, width: int = 8, banks: int = 4):
+        super().__init__(atoms=atoms, width=width, banks=banks)
+
+    def build(self, c: Circuit) -> None:
+        atoms = self.params["atoms"]
+        w = self.params["width"]
+        banks = self.params["banks"]
+        acc_w = min(4 * w, 64)
+        feats = [c.input(f"feat{i}", w) for i in range(atoms)]
+        weights = [c.reg(c.input(f"wt{i}", w), f"wt_reg{i}") for i in range(atoms)]
+        prods = [ (f * wt).resized(acc_w) for f, wt in zip(feats, weights)]
+        mac_out = pipeline(c, adder_tree(c, prods), 2, "cmac_pipe")
+        # Accumulator banks with bank-select write.
+        bank_sel = c.input("bank_sel", 4)
+        for b in range(banks):
+            acc = c.reg_declare(acc_w, f"cacc{b}")
+            hit = bank_sel.eq(b)
+            c.connect_next(acc, c.mux(hit, acc + mac_out, acc))
+            # Truncation/ReLU on the way out (SDP-like post-processing).
+            relu = c.mux(acc.gt(0), acc, acc ^ acc)
+            c.output(f"res{b}", c.reg(relu, f"sdp{b}"))

@@ -1,0 +1,66 @@
+"""Peripheral components (Table 3: IceNet NIC, Rocket GPIO)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, counter, fifo, mux_tree, reduce_tree, shift_register
+
+__all__ = ["IceNetNIC", "GPIOController"]
+
+
+class IceNetNIC(Module):
+    """A NIC datapath: RX/TX FIFOs, checksum tree, length filter (IceNet-like)."""
+
+    def __init__(self, data_width: int = 64, fifo_depth: int = 8):
+        super().__init__(data_width=data_width, fifo_depth=fifo_depth)
+
+    def build(self, c: Circuit) -> None:
+        w = self.params["data_width"]
+        depth = self.params["fifo_depth"]
+        rx = c.input("rx_data", w)
+        # RX FIFO + running checksum over a window of beats.
+        rx_q = fifo(c, rx, depth, "rx_fifo")
+        taps = shift_register(c, rx_q, 4, "csum_win")
+        checksum = reduce_tree(c, [t.resized(16) for t in taps], "xor")
+        # Header parse: length/type extraction + match.
+        length = (rx_q >> 48).resized(16)
+        ethertype = (rx_q >> 32).resized(16)
+        is_ipv4 = ethertype.eq(0x0800)
+        drop = length.gt(1500) | ~is_ipv4.resized(1)
+        # TX path: FIFO + sequence counter stamped into the beat.
+        tx = c.input("tx_data", w)
+        seq = counter(c, 16, "tx_seq")
+        stamped = tx ^ seq.resized(w)
+        tx_q = fifo(c, stamped, depth, "tx_fifo")
+        c.output("tx_out", tx_q)
+        c.output("rx_out", c.reg(c.mux(drop, rx_q ^ rx_q, rx_q), "rx_out"))
+        c.output("csum", c.reg(checksum, "csum_reg"))
+
+
+class GPIOController(Module):
+    """A memory-mapped GPIO block: direction/output/input registers per pin."""
+
+    def __init__(self, num_pins: int = 16):
+        super().__init__(num_pins=num_pins)
+
+    def build(self, c: Circuit) -> None:
+        pins = self.params["num_pins"]
+        wdata = c.input("wdata", 32)
+        addr = c.input("addr", 8)
+        pad_in = c.input("pad_in", pins)
+        out_regs = []
+        dir_regs = []
+        for i in range(pins):
+            sel = addr.eq(i)
+            out_r = c.reg_declare(1, f"out{i}")
+            c.connect_next(out_r, c.mux(sel, wdata.resized(1), out_r))
+            dir_r = c.reg_declare(1, f"dir{i}")
+            c.connect_next(dir_r, c.mux(sel, (wdata >> 1).resized(1), dir_r))
+            out_regs.append(out_r)
+            dir_regs.append(dir_r)
+        # Pad drive: out where dir=1, tristate (input echo) otherwise.
+        driven = [c.mux(d, o, (pad_in >> i).resized(1))
+                  for i, (d, o) in enumerate(zip(dir_regs, out_regs))]
+        readback = mux_tree(c, addr, driven)
+        irq = reduce_tree(c, driven, "or")
+        c.output("rdata", c.reg(readback, "rdata"))
+        c.output("irq", c.reg(irq, "irq"))

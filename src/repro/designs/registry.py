@@ -1,0 +1,129 @@
+"""The Hardware Design Dataset registry (Tables 3 and 4 of the paper).
+
+``standard_designs()`` returns the 41 concrete designs used throughout
+the evaluation — parameter sweeps over the Table 3 generators, spanning
+three orders of magnitude in size from a 128-entry lookup table to a
+multi-core floating-point stencil accelerator.
+
+Designs derived from the same parameterizable base share a ``family``
+tag; the train/test splitter keeps families on one side of the split
+(Section 4.1: "we avoid putting designs generated from the same
+parameterizable base design in both the training and the testing sets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hdl import Module
+from .approx import LookupTable, PiecewiseApprox
+from .cores import ArianeCore, RocketCore, SodorCore
+from .crypto import AESRound, Sha3Round
+from .dsp import Convolution2D, FFTPipeline
+from .linalg import GEMMUnit, SPMVUnit
+from .mlacc import GemminiSystolicArray, NVDLAConvCore
+from .misc import FPUnit, Stencil2DAccelerator, ViterbiDecoder
+from .peripherals import GPIOController, IceNetNIC
+from .sorting import MergeSortNetwork, RadixSortUnit
+from .vector import HwachaVectorUnit, SIMDALU
+
+__all__ = ["DesignEntry", "standard_designs", "design_families", "get_design"]
+
+
+@dataclass(frozen=True)
+class DesignEntry:
+    """One row of the hardware design dataset."""
+
+    name: str
+    family: str
+    category: str
+    module: Module
+
+
+def standard_designs() -> list[DesignEntry]:
+    """The 41-design evaluation dataset."""
+    entries: list[tuple[str, str, Module]] = [
+        # --- Processor cores ------------------------------------------- #
+        ("sodor32", "sodor", SodorCore(xlen=32)),
+        ("sodor64", "sodor", SodorCore(xlen=64)),
+        ("rocket32", "rocket", RocketCore(xlen=32, rf_depth=16)),
+        ("rocket64", "rocket", RocketCore(xlen=64, rf_depth=16)),
+        ("rocket64_rf32", "rocket", RocketCore(xlen=64, rf_depth=32)),
+        ("ariane64", "ariane", ArianeCore(xlen=64, rf_depth=32)),
+        ("ariane64_btb16", "ariane", ArianeCore(xlen=64, rf_depth=32, btb_entries=16)),
+        # --- Peripheral components -------------------------------------- #
+        ("icenet64", "icenet", IceNetNIC(data_width=64, fifo_depth=8)),
+        ("icenet64_deep", "icenet", IceNetNIC(data_width=64, fifo_depth=16)),
+        ("gpio16", "gpio", GPIOController(num_pins=16)),
+        ("gpio32", "gpio", GPIOController(num_pins=32)),
+        # --- Machine learning accelerators ------------------------------ #
+        ("gemmini8x8", "gemmini", GemminiSystolicArray(dim=8, width=8)),
+        ("gemmini16x16", "gemmini", GemminiSystolicArray(dim=16, width=8)),
+        ("gemmini8x8_w16", "gemmini", GemminiSystolicArray(dim=8, width=16)),
+        ("nvdla16", "nvdla", NVDLAConvCore(atoms=16, width=8, banks=4)),
+        ("nvdla32", "nvdla", NVDLAConvCore(atoms=32, width=8, banks=8)),
+        # --- Vector arithmetic ------------------------------------------ #
+        ("simd4x32", "simd", SIMDALU(lanes=4, width=32)),
+        ("simd8x32", "simd", SIMDALU(lanes=8, width=32)),
+        ("simd4x64", "simd", SIMDALU(lanes=4, width=64)),
+        ("hwacha2", "hwacha", HwachaVectorUnit(lanes=2, vregs=8, width=64)),
+        ("hwacha4", "hwacha", HwachaVectorUnit(lanes=4, vregs=8, width=64)),
+        # --- Signal processing ------------------------------------------ #
+        ("fft16", "fft", FFTPipeline(points=16, width=16)),
+        ("fft32", "fft", FFTPipeline(points=32, width=16)),
+        ("conv3x3", "conv", Convolution2D(kernel=3, width=16, unroll=1)),
+        ("conv5x5", "conv", Convolution2D(kernel=5, width=16, unroll=1)),
+        ("conv3x3_u4", "conv", Convolution2D(kernel=3, width=16, unroll=4)),
+        # --- Cryptographic arithmetic ------------------------------------ #
+        ("aes1", "aes", AESRound(rounds=1)),
+        ("aes4", "aes", AESRound(rounds=4)),
+        ("sha3", "sha3", Sha3Round(lanes_width=64)),
+        # --- Linear algebra ---------------------------------------------- #
+        ("gemm4x4", "gemm", GEMMUnit(rows=4, cols=4, depth=4, width=16)),
+        ("gemm8x8", "gemm", GEMMUnit(rows=8, cols=8, depth=4, width=16)),
+        ("spmv4", "spmv", SPMVUnit(lanes=4, width=32, vec_entries=8)),
+        ("spmv8", "spmv", SPMVUnit(lanes=8, width=32, vec_entries=16)),
+        # --- Sort --------------------------------------------------------- #
+        ("mergesort8", "mergesort", MergeSortNetwork(n=8, width=16)),
+        ("mergesort16", "mergesort", MergeSortNetwork(n=16, width=16)),
+        ("radixsort8", "radixsort", RadixSortUnit(buckets=8, width=32)),
+        # --- Non-linear function approximation ----------------------------- #
+        ("lut128x8", "lut", LookupTable(entries=128, width=8)),
+        ("piecewise8", "piecewise", PiecewiseApprox(segments=8, width=16)),
+        # --- Other ---------------------------------------------------------- #
+        ("fpu32", "fpu", FPUnit(exp_w=8, man_w=24)),
+        ("stencil16", "stencil", Stencil2DAccelerator(cores=16, unroll=8)),
+        ("viterbi16", "viterbi", ViterbiDecoder(states=16, metric_w=16)),
+    ]
+    categories = {
+        "sodor": "Processor Core", "rocket": "Processor Core", "ariane": "Processor Core",
+        "icenet": "Peripheral Component", "gpio": "Peripheral Component",
+        "gemmini": "Machine Learning Acc.", "nvdla": "Machine Learning Acc.",
+        "simd": "Vector Arithmetic", "hwacha": "Vector Arithmetic",
+        "fft": "Signal Processing", "conv": "Signal Processing",
+        "aes": "Cryptographic Arithmetic", "sha3": "Cryptographic Arithmetic",
+        "gemm": "Linear Algebra", "spmv": "Linear Algebra",
+        "mergesort": "Sort", "radixsort": "Sort",
+        "lut": "Non-linear Function Approximation",
+        "piecewise": "Non-linear Function Approximation",
+        "fpu": "Other", "stencil": "Other", "viterbi": "Other",
+    }
+    return [DesignEntry(name, family, categories[family], module)
+            for name, family, module in entries]
+
+
+def design_families(entries: list[DesignEntry] | None = None) -> dict[str, list[DesignEntry]]:
+    """Group dataset entries by parameterizable base design."""
+    entries = entries if entries is not None else standard_designs()
+    families: dict[str, list[DesignEntry]] = {}
+    for entry in entries:
+        families.setdefault(entry.family, []).append(entry)
+    return families
+
+
+def get_design(name: str) -> DesignEntry:
+    """Look up one dataset design by name."""
+    for entry in standard_designs():
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown design: {name!r}")

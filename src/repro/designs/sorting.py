@@ -1,0 +1,89 @@
+"""Sorting accelerators (Table 3: MergeSort, RadixSort)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, Signal, counter
+
+__all__ = ["MergeSortNetwork", "RadixSortUnit"]
+
+
+def _compare_exchange(c: Circuit, a: Signal, b: Signal) -> tuple[Signal, Signal]:
+    swap = a.gt(b)
+    lo = c.mux(swap, b, a)
+    hi = c.mux(swap, a, b)
+    return lo, hi
+
+
+class MergeSortNetwork(Module):
+    """A Batcher odd-even merge sorting network with pipeline stages."""
+
+    def __init__(self, n: int = 8, width: int = 16):
+        super().__init__(n=n, width=width)
+
+    def build(self, c: Circuit) -> None:
+        n, w = self.params["n"], self.params["width"]
+        vals = [c.input(f"in{i}", w) for i in range(n)]
+
+        # Batcher odd-even mergesort comparator schedule.
+        def oddeven_merge_sort(lo: int, length: int):
+            if length > 1:
+                m = length // 2
+                yield from oddeven_merge_sort(lo, m)
+                yield from oddeven_merge_sort(lo + m, m)
+                yield from oddeven_merge(lo, length, 1)
+
+        def oddeven_merge(lo: int, length: int, r: int):
+            step = r * 2
+            if step < length:
+                yield from oddeven_merge(lo, length, step)
+                yield from oddeven_merge(lo + r, length, step)
+                for i in range(lo + r, lo + length - r, step):
+                    yield (i, i + r)
+            else:
+                yield (lo, lo + r)
+
+        stage = 0
+        for i, j in oddeven_merge_sort(0, n):
+            vals[i], vals[j] = _compare_exchange(c, vals[i], vals[j])
+            stage += 1
+            if stage % n == 0:  # periodic pipeline cut
+                vals = [c.reg(v, f"p{stage}_{k}") for k, v in enumerate(vals)]
+        for i, v in enumerate(vals):
+            c.output(f"out{i}", c.reg(v, f"sorted{i}"))
+
+
+class RadixSortUnit(Module):
+    """A counting-sort digit pass: bucket histogram + prefix-sum network."""
+
+    def __init__(self, buckets: int = 8, width: int = 32):
+        super().__init__(buckets=buckets, width=width)
+
+    def build(self, c: Circuit) -> None:
+        buckets, w = self.params["buckets"], self.params["width"]
+        key = c.input("key", w)
+        # Digit extraction for a general (non-power-of-two-capable) radix:
+        # quotient feeds the next pass, remainder selects the bucket.
+        base = c.input("radix_base", 8)
+        quotient = key // base
+        digit_val = key % base
+        c.output("next_key", c.reg(quotient, "next_key"))
+        digit = digit_val.resized(max((buckets - 1).bit_length(), 1))
+        # Histogram counters, one per bucket.
+        counts = []
+        for b in range(buckets):
+            hit = digit.eq(b)
+            cnt = c.reg_declare(16, f"hist{b}")
+            c.connect_next(cnt, c.mux(hit, cnt + 1, cnt))
+            counts.append(cnt)
+        # Prefix sums give scatter offsets.
+        prefix = counts[0]
+        offsets = [prefix]
+        for b in range(1, buckets):
+            prefix = prefix + counts[b]
+            offsets.append(prefix)
+        # Output offset for the current key's digit.
+        from ..hdl import mux_tree
+
+        offset = mux_tree(c, digit, offsets)
+        write_ptr = counter(c, 16, "wptr")
+        c.output("scatter_addr", c.reg(offset + write_ptr, "scatter"))

@@ -1,0 +1,52 @@
+"""Vector arithmetic designs (Table 3: SIMD ALUs, Hwacha)."""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, mux_tree, register_file
+
+__all__ = ["SIMDALU", "HwachaVectorUnit"]
+
+
+class SIMDALU(Module):
+    """N parallel ALU lanes sharing one operation select."""
+
+    def __init__(self, lanes: int = 4, width: int = 32):
+        super().__init__(lanes=lanes, width=width)
+
+    def build(self, c: Circuit) -> None:
+        lanes = self.params["lanes"]
+        w = self.params["width"]
+        op = c.input("op", 4)
+        for i in range(lanes):
+            a = c.input(f"a{i}", w)
+            b = c.input(f"b{i}", w)
+            half = max(w // 2, 8)
+            results = [a + b, a - b, a & b, a | b, a ^ b,
+                       a << b.resized(6), (a * b).resized(w),
+                       c.mux(a.lt(b), b, a),
+                       (a.resized(half) // b.resized(half)).resized(w)]
+            c.output(f"y{i}", c.reg(mux_tree(c, op, results), f"lane{i}"))
+
+
+class HwachaVectorUnit(Module):
+    """A vector-fetch unit: vector register file + multiply-add lanes."""
+
+    def __init__(self, lanes: int = 2, vregs: int = 8, width: int = 64):
+        super().__init__(lanes=lanes, vregs=vregs, width=width)
+
+    def build(self, c: Circuit) -> None:
+        lanes = self.params["lanes"]
+        vregs = self.params["vregs"]
+        w = self.params["width"]
+        vd = c.input("vd", 5)
+        vs1 = c.input("vs1", 5)
+        vs2 = c.input("vs2", 5)
+        use_div = c.input("use_div", 1)
+        for lane in range(lanes):
+            wdata = c.input(f"wd{lane}", w)
+            src1 = register_file(c, wdata, vd, vs1, depth=vregs, label=f"vrf{lane}a")
+            src2 = register_file(c, wdata, vd, vs2, depth=vregs, label=f"vrf{lane}b")
+            fma = (src1 * src2).resized(w) + wdata
+            vdiv = src1 // src2
+            result = c.mux(use_div, vdiv, fma)
+            c.output(f"vout{lane}", c.reg(result, f"vpipe{lane}"))

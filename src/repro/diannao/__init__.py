@@ -1,0 +1,28 @@
+"""``repro.diannao`` — the DianNao case study (Section 5.7).
+
+A parameterizable Chisel-style reimplementation of the DianNao NFU
+pipeline (Figure 9) over the Table 13 design space, a cycle-accurate
+performance model emitting power-gating activity coefficients, a
+datatype quantization accuracy model (the AlexNet/CIFAR-10 substitute),
+and the DSE that produces Tables 12/13 and Figures 10/11.
+"""
+
+from .config import (
+    DATATYPES,
+    TABLE13,
+    Datatype,
+    DianNaoConfig,
+    full_design_space,
+)
+from .generator import DianNao
+from .perf_model import ALEXNET_CIFAR10, DianNaoPerfModel, LayerSpec, PerfReport
+from .quantization import QuantizedClassifier, datatype_accuracy, quantize_array
+from .dse import DianNaoDSE, DianNaoDSEResult, DianNaoPoint
+
+__all__ = [
+    "DATATYPES", "TABLE13", "Datatype", "DianNaoConfig", "full_design_space",
+    "DianNao",
+    "ALEXNET_CIFAR10", "DianNaoPerfModel", "LayerSpec", "PerfReport",
+    "QuantizedClassifier", "datatype_accuracy", "quantize_array",
+    "DianNaoDSE", "DianNaoDSEResult", "DianNaoPoint",
+]

@@ -1,0 +1,90 @@
+"""DianNao design-space parameters (Table 13 of the paper)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+
+__all__ = ["Datatype", "DATATYPES", "DianNaoConfig", "full_design_space", "TABLE13"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A numeric format for the NFU datapath."""
+
+    name: str
+    total_bits: int
+    exponent_bits: int   # 0 for integer formats
+    mantissa_bits: int   # significand bits for floats; total for ints
+
+    @property
+    def is_float(self) -> bool:
+        return self.exponent_bits > 0
+
+
+DATATYPES: dict[str, Datatype] = {
+    "int8": Datatype("int8", 8, 0, 8),
+    "int16": Datatype("int16", 16, 0, 16),
+    "fp16": Datatype("fp16", 16, 5, 11),
+    "bf16": Datatype("bf16", 16, 8, 8),
+    "tf32": Datatype("tf32", 19, 8, 11),
+    "fp32": Datatype("fp32", 32, 8, 24),
+}
+
+# Table 13, verbatim.
+TABLE13: dict[str, tuple] = {
+    "tn": (4, 8, 16, 32),
+    "datatype": ("int8", "int16", "fp16", "bf16", "tf32", "fp32"),
+    "pipeline_stages": (3, 8),
+    "reduction_width": (4, 8, 16),
+    "activation_entries": (2, 4, 8, 16),
+}
+
+# Stage allocation per total pipeline depth (Table 13's two options):
+# 3 -> NFU-1:1, NFU-2:1, NFU-3:1; 8 -> NFU-1:3, NFU-2:2, NFU-3:3.
+STAGE_SPLIT = {3: (1, 1, 1), 8: (3, 2, 3)}
+
+
+@dataclass(frozen=True)
+class DianNaoConfig:
+    """One point in the 576-design DianNao space.
+
+    The paper's published design is tn=16, int16, 3 stages.
+    """
+
+    tn: int = 16
+    datatype: str = "int16"
+    pipeline_stages: int = 3
+    reduction_width: int = 8
+    activation_entries: int = 8
+
+    def __post_init__(self):
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value not in TABLE13[f.name]:
+                raise ValueError(
+                    f"{f.name}={value!r} not in Table 13 range {TABLE13[f.name]}")
+
+    @property
+    def dtype(self) -> Datatype:
+        return DATATYPES[self.datatype]
+
+    @property
+    def stage_split(self) -> tuple[int, int, int]:
+        return STAGE_SPLIT[self.pipeline_stages]
+
+    @property
+    def name(self) -> str:
+        return (f"diannao_t{self.tn}_{self.datatype}_s{self.pipeline_stages}"
+                f"_r{self.reduction_width}_a{self.activation_entries}")
+
+    @property
+    def macs_per_cycle(self) -> int:
+        return self.tn * self.tn
+
+
+def full_design_space() -> list[DianNaoConfig]:
+    """All 576 Table 13 combinations."""
+    keys = list(TABLE13)
+    return [DianNaoConfig(**dict(zip(keys, combo)))
+            for combo in itertools.product(*(TABLE13[k] for k in keys))]

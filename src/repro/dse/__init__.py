@@ -1,0 +1,13 @@
+"""``repro.dse`` — generic design-space exploration utilities.
+
+The paper's Section 5.5 usage model, packaged for arbitrary user designs:
+enumerate a :class:`ParameterGrid` over any ``Module``, evaluate each
+point with a trained SNS (or the reference synthesizer), and read off
+Pareto-optimal configurations.
+"""
+
+from .grid import ParameterGrid
+from .explorer import DesignSpaceExplorer, EvaluatedDesign, ExplorationResult
+
+__all__ = ["ParameterGrid", "DesignSpaceExplorer", "EvaluatedDesign",
+           "ExplorationResult"]

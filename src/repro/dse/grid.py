@@ -1,0 +1,59 @@
+"""Parameter grids for design-space exploration.
+
+The paper's usage model (Section 5.5): "a parameterizable design is first
+compiled with combinations of design parameters to form fixed RTL
+designs" — :class:`ParameterGrid` enumerates those combinations for any
+``Module`` subclass.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+__all__ = ["ParameterGrid"]
+
+
+@dataclass(frozen=True)
+class ParameterGrid:
+    """The Cartesian product of named parameter choices.
+
+    >>> grid = ParameterGrid({"width": (8, 16), "lanes": (1, 2, 4)})
+    >>> len(grid)
+    6
+    >>> grid.subset(constraint=lambda p: p["width"] * p["lanes"] <= 32)[0]
+    {'width': 8, 'lanes': 1}
+    """
+
+    parameters: dict[str, tuple]
+
+    def __post_init__(self):
+        for name, values in self.parameters.items():
+            if not values:
+                raise ValueError(f"parameter {name!r} has no values")
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self.parameters.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        keys = list(self.parameters)
+        for combo in itertools.product(*(self.parameters[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def subset(self, constraint: Callable[[dict], bool] | None = None,
+               stride: int = 1) -> list[dict[str, Any]]:
+        """Enumerate points, optionally filtered and strided."""
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1: {stride}")
+        points = [p for p in self if constraint is None or constraint(p)]
+        return points[::stride]
+
+    def describe(self) -> str:
+        lines = [f"{name}: {', '.join(map(str, values))} ({len(values)})"
+                 for name, values in self.parameters.items()]
+        lines.append(f"total combinations: {len(self)}")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Plain-text rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent across benches and
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ascii_scatter"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render rows as an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  xlabel: str = "x", ylabel: str = "y") -> str:
+    """Render an (x, y) figure series as labeled text rows."""
+    lines = [f"{name}  [{xlabel} -> {ylabel}]"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x):>12s} -> {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(xs: Sequence[float], ys: Sequence[float],
+                  width: int = 60, height: int = 18, logscale: bool = True,
+                  title: str = "") -> str:
+    """A terminal scatter plot (used for the Figure 6/7 point clouds)."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if logscale:
+        xs = np.log10(np.maximum(xs, 1e-12))
+        ys = np.log10(np.maximum(ys, 1e-12))
+    x_lo, x_hi = xs.min(), xs.max()
+    y_lo, y_hi = ys.min(), ys.max()
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

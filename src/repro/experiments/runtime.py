@@ -1,0 +1,88 @@
+"""The runtime experiment: Figure 7 and Table 9 (Section 5.4).
+
+Measures wall-clock SNS prediction time against the reference
+synthesizer on every dataset design, reporting per-design speedups and
+the average.  ``desktop_factor`` models the paper's second experiment —
+running SNS on a weaker desktop while the synthesizer keeps the server —
+by scaling SNS runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import SNS
+from ..datagen import DesignRecord
+from ..synth import Synthesizer
+
+__all__ = ["RuntimeRow", "RuntimeReport", "runtime_comparison", "PLATFORMS"]
+
+# Table 9 of the paper, for reporting.
+PLATFORMS = {
+    "server": {"processor": "2x Intel Xeon Gold 6252 48C/96T @ 2.10GHz",
+               "memory": "8x 64GB 2933MHz", "os": "Ubuntu 18.04LTS"},
+    "desktop": {"processor": "Intel Core i9 11900 8C/16T @ 2.5GHz",
+                "memory": "2x 16GB 2667MHz", "os": "Ubuntu 18.04LTS"},
+}
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """One Figure 7 point."""
+
+    design: str
+    gate_count: float
+    sns_seconds: float
+    synth_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.synth_seconds / self.sns_seconds if self.sns_seconds > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class RuntimeReport:
+    rows: tuple[RuntimeRow, ...]
+
+    @property
+    def average_speedup(self) -> float:
+        return float(np.mean([r.speedup for r in self.rows]))
+
+    @property
+    def max_speedup(self) -> float:
+        return float(max(r.speedup for r in self.rows))
+
+    def speedup_grows_with_size(self) -> bool:
+        """Figure 7 shape: larger designs enjoy larger speedups."""
+        ordered = sorted(self.rows, key=lambda r: r.gate_count)
+        half = len(ordered) // 2
+        small = np.mean([r.speedup for r in ordered[:half]])
+        large = np.mean([r.speedup for r in ordered[half:]])
+        return large > small
+
+
+def runtime_comparison(sns: SNS, records: list[DesignRecord],
+                       synth_effort: str = "high",
+                       desktop_factor: float = 1.0) -> RuntimeReport:
+    """Wall-clock SNS vs synthesizer on each design.
+
+    ``desktop_factor > 1`` slows the SNS side to model the desktop
+    platform of Table 9 (the synthesizer stays on the 'server').
+    """
+    synthesizer = Synthesizer(effort=synth_effort)
+    rows = []
+    for record in records:
+        start = time.perf_counter()
+        result = synthesizer.synthesize(record.graph)
+        synth_seconds = time.perf_counter() - start
+        pred = sns.predict(record.graph)
+        rows.append(RuntimeRow(
+            design=record.name,
+            gate_count=result.gate_count,
+            sns_seconds=pred.runtime_s * desktop_factor,
+            synth_seconds=synth_seconds,
+        ))
+    return RuntimeReport(rows=tuple(rows))

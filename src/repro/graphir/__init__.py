@@ -1,0 +1,39 @@
+"""``repro.graphir`` — the circuit-graph intermediate representation.
+
+Implements Section 3.1 of the SNS paper: typed, width-annotated vertices
+connected by directed wire edges, with the 79-token Table 1 vocabulary
+(power-of-two width rounding) and the graph statistics consumed by the
+Aggregation MLP.
+"""
+
+from .vocab import (
+    LOGIC_TYPES,
+    ARITH_TYPES,
+    NODE_TYPES,
+    WIDTHS_LOGIC,
+    WIDTHS_ARITH,
+    SEQUENTIAL_TYPES,
+    round_width,
+    token_name,
+    parse_token,
+    Vocabulary,
+)
+from .graph import Node, CircuitGraph
+from .serialize import to_json, from_json, save_graph, load_graph
+from .stats import (
+    token_counts,
+    stats_vector,
+    structural_features,
+    weighted_features,
+    NUM_STRUCTURAL_FEATURES,
+    NUM_WEIGHTED_FEATURES,
+)
+
+__all__ = [
+    "LOGIC_TYPES", "ARITH_TYPES", "NODE_TYPES", "WIDTHS_LOGIC", "WIDTHS_ARITH",
+    "SEQUENTIAL_TYPES", "round_width", "token_name", "parse_token", "Vocabulary",
+    "Node", "CircuitGraph",
+    "to_json", "from_json", "save_graph", "load_graph",
+    "token_counts", "stats_vector", "structural_features", "weighted_features",
+    "NUM_STRUCTURAL_FEATURES", "NUM_WEIGHTED_FEATURES",
+]

@@ -1,0 +1,157 @@
+"""The GraphIR circuit graph (Section 3.1 of the SNS paper).
+
+A :class:`CircuitGraph` is a directed graph whose vertices are functional
+units (``io``, ``dff``, ``mux``, ``add``, ``mul``, …) annotated with the
+bit-width of their widest connection, and whose edges are wires.  Node
+token names (``mul16``) use the rounded Table 1 vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .vocab import NODE_TYPES, SEQUENTIAL_TYPES, round_width, token_name
+
+__all__ = ["Node", "CircuitGraph"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A GraphIR vertex.
+
+    ``width`` is the raw (unrounded) maximal connection width; ``token``
+    gives the rounded vocabulary name used by the models.
+    """
+
+    node_id: int
+    node_type: str
+    width: int
+    label: str = ""
+
+    def __post_init__(self):
+        if self.node_type not in NODE_TYPES:
+            raise ValueError(f"unknown node type: {self.node_type!r}")
+        if self.width < 1:
+            raise ValueError(f"node width must be positive: {self.width}")
+
+    @property
+    def token(self) -> str:
+        return token_name(self.node_type, self.width)
+
+    @property
+    def rounded_width(self) -> int:
+        return round_width(self.width, self.node_type)
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for vertices that delimit complete circuit paths."""
+        return self.node_type in SEQUENTIAL_TYPES
+
+
+@dataclass
+class CircuitGraph:
+    """Directed circuit graph with O(1) successor/predecessor lookup."""
+
+    name: str = "design"
+    _nodes: dict[int, Node] = field(default_factory=dict)
+    _succ: dict[int, list[int]] = field(default_factory=dict)
+    _pred: dict[int, list[int]] = field(default_factory=dict)
+    _next_id: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_type: str, width: int, label: str = "") -> int:
+        """Create a vertex and return its id."""
+        node_id = self._next_id
+        self._next_id += 1
+        self._nodes[node_id] = Node(node_id, node_type, width, label)
+        self._succ[node_id] = []
+        self._pred[node_id] = []
+        return node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Connect ``src -> dst``; parallel edges are collapsed."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"edge endpoints must exist: {src} -> {dst}")
+        if dst not in self._succ[src]:
+            self._succ[src].append(dst)
+            self._pred[dst].append(src)
+
+    def merge(self, other: "CircuitGraph") -> dict[int, int]:
+        """Union ``other`` into this graph; returns old-id -> new-id map."""
+        remap: dict[int, int] = {}
+        for node in other.nodes():
+            remap[node.node_id] = self.add_node(node.node_type, node.width, node.label)
+        for src, dsts in other._succ.items():
+            for dst in dsts:
+                self.add_edge(remap[src], remap[dst])
+        return remap
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    def node_ids(self) -> list[int]:
+        return list(self._nodes.keys())
+
+    def successors(self, node_id: int) -> list[int]:
+        return list(self._succ[node_id])
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return list(self._pred[node_id])
+
+    def edges(self) -> list[tuple[int, int]]:
+        return [(s, d) for s, dsts in self._succ.items() for d in dsts]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self._succ.values())
+
+    def sequential_ids(self) -> list[int]:
+        """Ids of vertices that contain flip-flops or are ports (io/dff)."""
+        return [n.node_id for n in self._nodes.values() if n.is_sequential]
+
+    def source_ids(self) -> list[int]:
+        """Sequential vertices that can start a complete circuit path."""
+        return [nid for nid in self.sequential_ids() if self._succ[nid]]
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def __repr__(self) -> str:
+        return f"CircuitGraph({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check internal consistency; raises ValueError on corruption."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                if src not in self._pred[dst]:
+                    raise ValueError(f"asymmetric adjacency: {src} -> {dst}")
+        for dst, srcs in self._pred.items():
+            for src in srcs:
+                if dst not in self._succ[src]:
+                    raise ValueError(f"asymmetric adjacency: {src} -> {dst}")
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` DiGraph (for analysis / baselines)."""
+        import networkx as nx
+
+        g = nx.DiGraph(name=self.name)
+        for node in self.nodes():
+            g.add_node(node.node_id, node_type=node.node_type,
+                       width=node.width, token=node.token)
+        g.add_edges_from(self.edges())
+        return g

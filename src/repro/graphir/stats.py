@@ -1,0 +1,85 @@
+"""Graph statistics fed to the Aggregation MLP (Figure 2(c) of the paper).
+
+The primary statistic is the count of each distinct vocabulary token; we
+also expose a handful of whole-graph structural features that the
+Aggregation MLP consumes alongside the per-path predictions.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from .graph import CircuitGraph
+from .vocab import Vocabulary
+
+__all__ = ["token_counts", "stats_vector", "structural_features",
+           "weighted_features", "NUM_STRUCTURAL_FEATURES", "NUM_WEIGHTED_FEATURES"]
+
+NUM_STRUCTURAL_FEATURES = 6
+NUM_WEIGHTED_FEATURES = 7
+
+# Vertex types whose hardware cost grows quadratically with width
+# (array multipliers/dividers), versus linearly (everything else).
+_QUADRATIC_TYPES = frozenset({"mul", "div", "mod"})
+
+
+def token_counts(graph: CircuitGraph) -> Counter:
+    """Count of each vocabulary token name in the graph."""
+    return Counter(node.token for node in graph.nodes())
+
+
+def stats_vector(graph: CircuitGraph, vocab: Vocabulary | None = None) -> np.ndarray:
+    """Fixed-length vector of per-token counts, in vocabulary order."""
+    vocab = vocab or Vocabulary.standard()
+    counts = token_counts(graph)
+    return np.array([counts.get(token, 0) for token in vocab.tokens], dtype=np.float64)
+
+
+def weighted_features(graph: CircuitGraph) -> np.ndarray:
+    """Width-weighted aggregate statistics.
+
+    Pure graph statistics (no library access) that correlate strongly
+    with physical cost, giving the Aggregation MLP a low-dimensional
+    signal alongside the raw 79-token histogram:
+
+    [total bits, quadratic-type bits^2, dff bits, mux bits,
+     shifter bits*log2(bits), compare bits, reduce bits]
+    """
+    totals = np.zeros(NUM_WEIGHTED_FEATURES)
+    for node in graph.nodes():
+        w = node.rounded_width
+        totals[0] += w
+        if node.node_type in _QUADRATIC_TYPES:
+            totals[1] += w * w
+        elif node.node_type == "dff":
+            totals[2] += w
+        elif node.node_type == "mux":
+            totals[3] += w
+        elif node.node_type == "sh":
+            totals[4] += w * np.log2(max(w, 2))
+        elif node.node_type in ("eq", "lgt"):
+            totals[5] += w
+        elif node.node_type.startswith("reduce_"):
+            totals[6] += w
+    return totals
+
+
+def structural_features(graph: CircuitGraph) -> np.ndarray:
+    """Whole-graph structural features:
+
+    [num_nodes, num_edges, num_sequential, max_fanout, mean_width, max_width]
+    """
+    if graph.num_nodes == 0:
+        return np.zeros(NUM_STRUCTURAL_FEATURES)
+    widths = [node.rounded_width for node in graph.nodes()]
+    max_fanout = max((len(graph.successors(nid)) for nid in graph.node_ids()), default=0)
+    return np.array([
+        graph.num_nodes,
+        graph.num_edges,
+        len(graph.sequential_ids()),
+        max_fanout,
+        float(np.mean(widths)),
+        float(np.max(widths)),
+    ], dtype=np.float64)

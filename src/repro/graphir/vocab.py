@@ -1,0 +1,145 @@
+"""The GraphIR vertex vocabulary (Table 1 of the SNS paper).
+
+Every GraphIR vertex is named ``<type><width>`` (e.g. ``mul16``).  Widths
+are rounded to the closest power of two (ties round up), clamped to the
+per-type range in Table 1, yielding exactly 79 distinct embeddings:
+
+- 11 logic/wiring types × widths {4, 8, 16, 32, 64} = 55
+- 6 arithmetic/compare types × widths {8, 16, 32, 64} = 24
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "LOGIC_TYPES",
+    "ARITH_TYPES",
+    "NODE_TYPES",
+    "WIDTHS_LOGIC",
+    "WIDTHS_ARITH",
+    "SEQUENTIAL_TYPES",
+    "round_width",
+    "token_name",
+    "parse_token",
+    "Vocabulary",
+]
+
+# Types whose minimum rounded width is 4 (Table 1, upper block).
+LOGIC_TYPES: tuple[str, ...] = (
+    "io", "dff", "mux", "not", "and", "or", "xor", "sh",
+    "reduce_and", "reduce_or", "reduce_xor",
+)
+# Types whose minimum rounded width is 8 (Table 1, lower block).
+ARITH_TYPES: tuple[str, ...] = ("add", "mul", "eq", "lgt", "div", "mod")
+
+NODE_TYPES: tuple[str, ...] = LOGIC_TYPES + ARITH_TYPES
+
+WIDTHS_LOGIC: tuple[int, ...] = (4, 8, 16, 32, 64)
+WIDTHS_ARITH: tuple[int, ...] = (8, 16, 32, 64)
+
+# Vertices that delimit complete circuit paths (contain flip-flops or are
+# design ports — Section 3.2).
+SEQUENTIAL_TYPES: frozenset[str] = frozenset({"io", "dff"})
+
+MAX_WIDTH = 64
+
+
+def _allowed_widths(node_type: str) -> tuple[int, ...]:
+    if node_type in ARITH_TYPES:
+        return WIDTHS_ARITH
+    if node_type in LOGIC_TYPES:
+        return WIDTHS_LOGIC
+    raise ValueError(f"unknown GraphIR node type: {node_type!r}")
+
+
+def round_width(width: int, node_type: str = "io") -> int:
+    """Round ``width`` to the closest allowed power of two for ``node_type``.
+
+    Ties round *up* — the paper treats widths 12..23 as ``16`` for a
+    divider — and results clamp to the Table 1 range (4..64 for logic
+    types, 8..64 for arithmetic types).
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive: {width}")
+    allowed = _allowed_widths(node_type)
+    lo, hi = allowed[0], allowed[-1]
+    if width <= lo:
+        return lo
+    if width >= hi:
+        return hi
+    # Closest allowed value in linear distance, ties toward the larger.
+    best = min(allowed, key=lambda w: (abs(w - width), -w))
+    return best
+
+
+def token_name(node_type: str, width: int, rounded: bool = True) -> str:
+    """The vocabulary token for a vertex, e.g. ``token_name('mul', 17) == 'mul16'``."""
+    w = round_width(width, node_type) if rounded else width
+    return f"{node_type}{w}"
+
+
+def parse_token(token: str) -> tuple[str, int]:
+    """Inverse of :func:`token_name`: ``'mul16' -> ('mul', 16)``."""
+    for node_type in sorted(NODE_TYPES, key=len, reverse=True):
+        if token.startswith(node_type):
+            suffix = token[len(node_type):]
+            if suffix.isdigit():
+                return node_type, int(suffix)
+    raise ValueError(f"cannot parse GraphIR token: {token!r}")
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """The fixed 79-token circuit vocabulary plus special tokens.
+
+    Token ids: ``0 = <pad>``, ``1 = <cls>``, circuit tokens from 2 up, in
+    deterministic (type, width) order.
+    """
+
+    tokens: tuple[str, ...]
+
+    PAD = 0
+    CLS = 1
+    NUM_SPECIAL = 2
+
+    @classmethod
+    def standard(cls) -> "Vocabulary":
+        names = []
+        for node_type in NODE_TYPES:
+            for width in _allowed_widths(node_type):
+                names.append(f"{node_type}{width}")
+        return cls(tokens=tuple(names))
+
+    def __len__(self) -> int:
+        return len(self.tokens) + self.NUM_SPECIAL
+
+    @property
+    def circuit_size(self) -> int:
+        """Number of circuit tokens (79 for the standard vocabulary)."""
+        return len(self.tokens)
+
+    def id_of(self, token: str) -> int:
+        try:
+            return self.tokens.index(token) + self.NUM_SPECIAL
+        except ValueError:
+            raise KeyError(f"token not in vocabulary: {token!r}") from None
+
+    def token_of(self, token_id: int) -> str:
+        if token_id == self.PAD:
+            return "<pad>"
+        if token_id == self.CLS:
+            return "<cls>"
+        index = token_id - self.NUM_SPECIAL
+        if not 0 <= index < len(self.tokens):
+            raise KeyError(f"token id out of range: {token_id}")
+        return self.tokens[index]
+
+    def encode(self, tokens: list[str]) -> list[int]:
+        return [self.id_of(t) for t in tokens]
+
+    def decode(self, ids: list[int]) -> list[str]:
+        return [self.token_of(i) for i in ids]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.tokens

@@ -1,0 +1,33 @@
+"""``repro.hdl`` — a Chisel-like hardware construction DSL.
+
+The SNS paper uses Chisel to produce parameterizable Verilog designs; this
+package is the in-repo substitute.  Designs subclass :class:`Module`,
+build logic from :class:`Signal` expressions on a :class:`Circuit`, and
+elaborate directly to :class:`repro.graphir.CircuitGraph`.
+"""
+
+from .signal import Signal
+from .circuit import Circuit, Reg
+from .module import Module
+from .structures import (
+    adder_tree,
+    mux_tree,
+    reduce_tree,
+    max_tree,
+    register_bank,
+    register_file,
+    memory_bank,
+    fifo,
+    counter,
+    shift_register,
+    lfsr,
+    priority_arbiter,
+    pipeline,
+)
+
+__all__ = [
+    "Signal", "Circuit", "Reg", "Module",
+    "adder_tree", "mux_tree", "reduce_tree", "max_tree",
+    "register_bank", "register_file", "memory_bank", "fifo",
+    "counter", "shift_register", "lfsr", "priority_arbiter", "pipeline",
+]

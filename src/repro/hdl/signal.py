@@ -1,0 +1,142 @@
+"""Signals — typed wires inside a circuit under construction.
+
+A :class:`Signal` is a handle to the node that produces a value, plus the
+bit-width of that value.  Python operators on signals create the
+corresponding GraphIR functional units, mirroring how Chisel builds
+hardware from Scala expressions.
+
+Width semantics follow common RTL conventions:
+
+- bitwise ops / mux / add / sub: result width = max of operand widths
+- multiply: result width = sum of operand widths (as in Figure 2 of the
+  paper, where two ``io8`` inputs feed a ``mul16``)
+- divide / modulus / shift: result width = dividend width
+- comparisons and reductions: result width = 1
+
+Integer constants may be used as operands; like a constant-folding
+front-end (Yosys), they add no vertex of their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:
+    from .circuit import Circuit
+
+__all__ = ["Signal", "Operand"]
+
+MAX_WIDTH = 64
+
+Operand = Union["Signal", int]
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A value produced by ``node_id`` inside ``circuit``, ``width`` bits wide."""
+
+    circuit: "Circuit"
+    node_id: int
+    width: int
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("add", self, other, _max_width(self, other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("add", self, other, _max_width(self, other))
+
+    def __rsub__(self, other: Operand) -> "Signal":
+        return self.__sub__(other)
+
+    def __mul__(self, other: Operand) -> "Signal":
+        width = min(self.width + _width_of(other, self.width), MAX_WIDTH)
+        return self.circuit.binop("mul", self, other, width)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("div", self, other, self.width)
+
+    def __mod__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("mod", self, other, self.width)
+
+    # ------------------------------------------------------------------ #
+    # Bitwise
+    # ------------------------------------------------------------------ #
+    def __and__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("and", self, other, _max_width(self, other))
+
+    __rand__ = __and__
+
+    def __or__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("or", self, other, _max_width(self, other))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: Operand) -> "Signal":
+        return self.circuit.binop("xor", self, other, _max_width(self, other))
+
+    __rxor__ = __xor__
+
+    def __invert__(self) -> "Signal":
+        return self.circuit.unop("not", self, self.width)
+
+    def __lshift__(self, amount: Operand) -> "Signal":
+        return self.circuit.binop("sh", self, amount, self.width)
+
+    def __rshift__(self, amount: Operand) -> "Signal":
+        return self.circuit.binop("sh", self, amount, self.width)
+
+    # ------------------------------------------------------------------ #
+    # Comparison (returns 1-bit signals; node width is the operand width)
+    # ------------------------------------------------------------------ #
+    def eq(self, other: Operand) -> "Signal":
+        return self.circuit.binop("eq", self, other, 1, node_width=_max_width(self, other))
+
+    def lt(self, other: Operand) -> "Signal":
+        return self.circuit.binop("lgt", self, other, 1, node_width=_max_width(self, other))
+
+    def gt(self, other: Operand) -> "Signal":
+        return self.circuit.binop("lgt", self, other, 1, node_width=_max_width(self, other))
+
+    # ------------------------------------------------------------------ #
+    # Reductions
+    # ------------------------------------------------------------------ #
+    def reduce_and(self) -> "Signal":
+        return self.circuit.unop("reduce_and", self, 1, node_width=self.width)
+
+    def reduce_or(self) -> "Signal":
+        return self.circuit.unop("reduce_or", self, 1, node_width=self.width)
+
+    def reduce_xor(self) -> "Signal":
+        return self.circuit.unop("reduce_xor", self, 1, node_width=self.width)
+
+    # ------------------------------------------------------------------ #
+    # Width adjustment (pure renaming; adds no vertex, like Chisel's
+    # zero-extension of a wire)
+    # ------------------------------------------------------------------ #
+    def resized(self, width: int) -> "Signal":
+        if width < 1:
+            raise ValueError(f"width must be positive: {width}")
+        return Signal(self.circuit, self.node_id, width)
+
+    def __hash__(self) -> int:
+        return hash((id(self.circuit), self.node_id, self.width))
+
+
+def _width_of(operand: Operand, default: int) -> int:
+    if isinstance(operand, Signal):
+        return operand.width
+    return max(int(operand).bit_length(), 1) if isinstance(operand, int) else default
+
+
+def _max_width(a: "Signal", b: Operand) -> int:
+    if isinstance(b, Signal):
+        return max(a.width, b.width)
+    return a.width

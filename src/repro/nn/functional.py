@@ -1,0 +1,95 @@
+"""Functional helpers: losses and tensor-list combinators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["concatenate", "stack", "mse_loss", "l1_loss", "huber_loss",
+           "cross_entropy", "binary_cross_entropy"]
+
+
+def concatenate(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    if not tensors:
+        raise ValueError("concatenate() needs at least one tensor")
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tuple(tensors), "concatenate")
+    if out.requires_grad:
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def _backward(grad):
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(lo, hi)
+                    t._accumulate(grad[tuple(index)])
+        out._backward = _backward
+    return out
+
+
+def stack(tensors: list[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    if not tensors:
+        raise ValueError("stack() needs at least one tensor")
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make_child(data, tuple(tensors), "stack")
+    if out.requires_grad:
+        def _backward(grad):
+            slices = np.moveaxis(grad, axis, 0)
+            for t, piece in zip(tensors, slices):
+                if t.requires_grad:
+                    t._accumulate(piece)
+        out._backward = _backward
+    return out
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error via a smooth |x| = sqrt(x^2 + eps)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return ((diff * diff + 1e-12).sqrt()).mean()
+
+
+def huber_loss(pred: Tensor, target, delta: float = 1.0) -> Tensor:
+    """Huber loss, quadratic within ``delta`` and linear beyond.
+
+    Implemented with a clip-based decomposition so it stays differentiable
+    through the autograd primitives.
+    """
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    clipped = diff.clip(-delta, delta)
+    # 0.5*c^2 + delta*(|d| - |c|)  where |x| ~ sqrt(x^2+eps)
+    abs_d = (diff * diff + 1e-12).sqrt()
+    abs_c = (clipped * clipped + 1e-12).sqrt()
+    return (0.5 * clipped * clipped + delta * (abs_d - abs_c)).mean()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy for integer class targets.
+
+    ``logits``: ``(batch, num_classes)``, ``targets``: ``(batch,)`` ints.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    log_probs = logits.log_softmax(axis=-1)
+    batch = log_probs.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    return -picked.mean()
+
+
+def binary_cross_entropy(probs: Tensor, targets) -> Tensor:
+    """BCE on probabilities in (0, 1)."""
+    target = targets if isinstance(targets, Tensor) else Tensor(targets)
+    eps = 1e-9
+    p = probs.clip(eps, 1.0 - eps)
+    return -(target * p.log() + (1.0 - target) * (1.0 - p).log()).mean()

@@ -1,0 +1,105 @@
+"""Module/Parameter containers for the numpy autograd engine.
+
+Mirrors the small slice of ``torch.nn.Module`` the SNS models need:
+recursive parameter discovery, train/eval mode flags, and a flat
+state-dict for serialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data):
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`state_dict` discover them
+    recursively in attribute-definition order.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = ""):
+        """Yield ``(name, Parameter)`` pairs for this module and children."""
+        for name, value in vars(self).items():
+            if name == "training":
+                continue
+            qualified = f"{prefix}{name}"
+            if isinstance(value, Parameter):
+                yield qualified, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{qualified}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        yield f"{qualified}.{i}", item
+                    elif isinstance(item, Module):
+                        yield from item.named_parameters(prefix=f"{qualified}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def _children(self):
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping from parameter name to a copy of its data."""
+        return {name: np.array(p.data) for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
+        for name, param in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.shape}")
+            param.data = value.copy()

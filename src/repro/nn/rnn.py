@@ -1,0 +1,59 @@
+"""Gated recurrent units, used by the SeqGAN generator and discriminator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """Single GRU step: ``h' = GRUCell(x, h)``."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        # Fused gates: reset, update, candidate.
+        self.x2h = Linear(input_size, 3 * hidden_size, rng=rng)
+        self.h2h = Linear(hidden_size, 3 * hidden_size, rng=rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        gx = self.x2h(x)
+        gh = self.h2h(h)
+        H = self.hidden_size
+        r = (gx[:, :H] + gh[:, :H]).sigmoid()
+        z = (gx[:, H:2 * H] + gh[:, H:2 * H]).sigmoid()
+        n = (gx[:, 2 * H:] + r * gh[:, 2 * H:]).tanh()
+        return (1.0 - z) * n + z * h
+
+
+class GRU(Module):
+    """Unidirectional single-layer GRU over a ``(batch, seq, input)`` tensor.
+
+    Returns ``(outputs, final_hidden)`` where ``outputs`` is
+    ``(batch, seq, hidden)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, h0: Tensor | None = None) -> tuple[Tensor, Tensor]:
+        from .functional import stack
+
+        batch, seq, _ = x.shape
+        h = h0 if h0 is not None else Tensor(np.zeros((batch, self.hidden_size)))
+        steps = []
+        for t in range(seq):
+            h = self.cell(x[:, t, :], h)
+            steps.append(h)
+        return stack(steps, axis=1), h

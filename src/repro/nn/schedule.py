@@ -1,0 +1,109 @@
+"""Learning-rate schedules and early stopping for the training loops."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR", "EarlyStopping"]
+
+
+class LRScheduler:
+    """Base class: mutates ``optimizer.lr`` on each :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self.get_lr(self.epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepLR(LRScheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1: {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1: {t_max}")
+        self.t_max = t_max
+        self.min_lr = min_lr
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress))
+
+
+class WarmupLR(LRScheduler):
+    """Linear warmup for ``warmup_epochs``, then delegate to ``after``."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int,
+                 after: LRScheduler | None = None):
+        super().__init__(optimizer)
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1: {warmup_epochs}")
+        self.warmup_epochs = warmup_epochs
+        self.after = after
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        if self.after is not None:
+            return self.after.get_lr(epoch - self.warmup_epochs)
+        return self.base_lr
+
+
+class EarlyStopping:
+    """Stop when a monitored metric hasn't improved for ``patience`` epochs.
+
+    >>> stopper = EarlyStopping(patience=3)
+    >>> for epoch in range(100):
+    ...     val = 1.0  # compute validation loss
+    ...     if stopper.update(val):
+    ...         break
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1: {patience}")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.best_epoch = -1
+        self._epoch = -1
+        self._stale = 0
+
+    def update(self, value: float) -> bool:
+        """Record one epoch's metric; returns True when training should stop."""
+        self._epoch += 1
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.best_epoch = self._epoch
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience

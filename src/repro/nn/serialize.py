@@ -1,0 +1,25 @@
+"""Saving and loading model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write ``module``'s state dict to ``path`` (numpy ``.npz``)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load weights saved by :func:`save_module` into ``module`` in place."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,62 @@
+"""Area and power extraction for a mapped netlist.
+
+Dynamic power follows the classic alpha*C*V^2*f model: each cell has a
+per-toggle switching energy and an activity factor; registers may carry
+user-supplied activity coefficients (the paper's power-gating input,
+Section 3.4.4).  Leakage is summed per cell.
+"""
+
+from __future__ import annotations
+
+from .library import TechLibrary
+from .netlist import MappedNetlist
+
+__all__ = ["total_area", "total_power", "DEFAULT_COMB_ACTIVITY", "DEFAULT_SEQ_ACTIVITY"]
+
+DEFAULT_COMB_ACTIVITY = 0.15
+DEFAULT_SEQ_ACTIVITY = 0.10
+
+
+def total_area(net: MappedNetlist, library: TechLibrary) -> float:
+    """Sum of mapped cell areas in um^2 (gate-sizing scales included)."""
+    return sum(
+        library.cost(cell.cell_type, cell.width).area * cell.area_scale
+        for cell in net.cells.values()
+    )
+
+
+def total_power(net: MappedNetlist, library: TechLibrary, frequency_ghz: float,
+                activity: dict[int, float] | None = None) -> float:
+    """Total power in mW at the given clock frequency.
+
+    ``activity`` optionally maps sequential cell ids to activity
+    coefficients; a register's coefficient also scales the combinational
+    cone it drives (a gated register stops its downstream logic from
+    toggling).
+    """
+    activity = activity or {}
+
+    # Propagate register gating one level into driven combinational cells.
+    comb_scale: dict[int, float] = {}
+    for cid, coeff in activity.items():
+        if cid not in net.cells:
+            continue
+        for succ in net.succ[cid]:
+            cell = net.cells[succ]
+            if not cell.is_sequential:
+                comb_scale[succ] = min(comb_scale.get(succ, 1.0), coeff / DEFAULT_SEQ_ACTIVITY)
+
+    dynamic_fj_per_cycle = 0.0
+    leakage_nw = 0.0
+    for cid, cell in net.cells.items():
+        cost = library.cost(cell.cell_type, cell.width)
+        if cell.is_sequential:
+            alpha = activity.get(cid, DEFAULT_SEQ_ACTIVITY)
+        else:
+            alpha = DEFAULT_COMB_ACTIVITY * comb_scale.get(cid, 1.0)
+        dynamic_fj_per_cycle += cost.energy * alpha
+        leakage_nw += cost.leakage
+
+    dynamic_mw = dynamic_fj_per_cycle * frequency_ghz * 1e-3
+    leakage_mw = leakage_nw * 1e-6
+    return dynamic_mw + leakage_mw

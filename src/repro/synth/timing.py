@@ -1,0 +1,95 @@
+"""Static timing analysis over a mapped netlist.
+
+Paths launch at sequential cells (register clock-to-q) or input ports and
+capture at sequential cell inputs (plus setup) or output ports.  The
+design's achievable clock period is the worst register-to-register (or
+port-to-port) arrival time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .library import TechLibrary
+from .netlist import MappedNetlist
+
+__all__ = ["TimingReport", "static_timing_analysis"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one STA run.
+
+    critical_path_ps is the minimum clock period; critical_cells is the
+    launch-to-capture cell chain realizing it.
+    """
+
+    critical_path_ps: float
+    critical_cells: tuple[int, ...]
+    arrival: dict[int, float]
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        return 1000.0 / self.critical_path_ps if self.critical_path_ps > 0 else float("inf")
+
+
+def _cell_delay(net: MappedNetlist, library: TechLibrary, cid: int) -> float:
+    cell = net.cells[cid]
+    return library.cost(cell.cell_type, cell.width).delay * cell.delay_scale
+
+
+def static_timing_analysis(net: MappedNetlist, library: TechLibrary) -> TimingReport:
+    """Longest-path analysis; returns the critical period and path."""
+    if not net.cells:
+        return TimingReport(0.0, (), {})
+
+    order = net.combinational_topo_order()
+    arrival: dict[int, float] = {}
+    best_pred: dict[int, int | None] = {}
+
+    for cid in order:
+        cell = net.cells[cid]
+        own = _cell_delay(net, library, cid)
+        if cell.is_sequential:
+            # Launch point: register clock-to-q, or port insertion delay.
+            arrival[cid] = own
+            best_pred[cid] = None
+            continue
+        preds = net.pred[cid]
+        if not preds:
+            arrival[cid] = own
+            best_pred[cid] = None
+            continue
+        worst, worst_pred = max(((arrival[p], p) for p in preds), key=lambda t: t[0])
+        arrival[cid] = worst + own
+        best_pred[cid] = worst_pred
+
+    # Capture: worst arrival into any sequential cell (+ setup) or at any
+    # pure-combinational endpoint (output ports are sequential 'io').
+    critical = 0.0
+    endpoint: int | None = None
+    capture_pred: int | None = None
+    for cid, cell in net.cells.items():
+        if cell.is_sequential:
+            for p in net.pred[cid]:
+                candidate = arrival[p] + (library.dff_setup if cell.cell_type == "dff" else 0.0)
+                if candidate > critical:
+                    critical, endpoint, capture_pred = candidate, cid, p
+        elif not net.succ[cid]:
+            if arrival[cid] > critical:
+                critical, endpoint, capture_pred = arrival[cid], cid, best_pred[cid]
+
+    # Degenerate all-register design: period bounded by clk-to-q + setup.
+    if endpoint is None:
+        critical = max(arrival.values(), default=0.0)
+
+    chain: list[int] = []
+    if endpoint is not None:
+        chain.append(endpoint)
+        cursor = capture_pred
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = best_pred.get(cursor)
+        chain.reverse()
+
+    return TimingReport(critical_path_ps=critical, critical_cells=tuple(chain), arrival=arrival)

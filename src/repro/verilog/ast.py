@@ -1,0 +1,234 @@
+"""Abstract syntax tree for the supported Verilog subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr", "Number", "Identifier", "UnaryOp", "BinaryOp", "Ternary",
+    "BitSelect", "PartSelect", "Concat",
+    "PortDecl", "NetDecl", "ParamDecl", "ContinuousAssign",
+    "NonBlockingAssign", "IfStatement", "CaseStatement", "AlwaysBlock",
+    "Instance", "GenerateFor", "ModuleDef", "SourceFile",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Expressions
+# ---------------------------------------------------------------------- #
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    value: int
+    width: int | None = None
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str          # '~' '!' '-' '&' '|' '^'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str          # '+' '-' '*' '/' '%' '&' '|' '^' '<<' '>>' '==' '!=' '<' '>' '<=' '>='
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    condition: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class BitSelect(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class PartSelect(Expr):
+    base: Expr
+    msb: Expr
+    lsb: Expr
+
+
+@dataclass(frozen=True)
+class Concat(Expr):
+    parts: tuple[Expr, ...]
+
+
+# ---------------------------------------------------------------------- #
+# Declarations and statements
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PortDecl:
+    direction: str   # 'input' | 'output' | 'inout'
+    name: str
+    msb: Expr | None
+    lsb: Expr | None
+    is_reg: bool = False
+
+
+@dataclass(frozen=True)
+class NetDecl:
+    kind: str        # 'wire' | 'reg'
+    name: str
+    msb: Expr | None
+    lsb: Expr | None
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ContinuousAssign:
+    target: str
+    target_select: tuple[Expr, Expr] | None
+    value: Expr
+
+
+@dataclass(frozen=True)
+class NonBlockingAssign:
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class IfStatement:
+    """Procedural if/else inside an always block."""
+
+    condition: Expr
+    then_stmts: tuple   # of statements
+    else_stmts: tuple
+
+
+@dataclass(frozen=True)
+class CaseStatement:
+    """Procedural case; ``items`` pairs a match expression (None for
+    ``default``) with its statements."""
+
+    subject: Expr
+    items: tuple[tuple[Expr | None, tuple], ...]
+
+
+@dataclass(frozen=True)
+class AlwaysBlock:
+    """A clocked process.  ``statements`` is the procedural tree
+    (non-blocking assigns, ifs, cases); ``assigns`` flattens it into one
+    mux-resolved next-state expression per register target."""
+
+    clock: str
+    statements: tuple = ()
+
+    @property
+    def assigns(self) -> tuple[NonBlockingAssign, ...]:
+        merged = _merge_statements(self.statements)
+        return tuple(NonBlockingAssign(t, e) for t, e in merged.items())
+
+    def targets(self) -> set[str]:
+        return set(_merge_statements(self.statements))
+
+
+def _merge_statements(stmts) -> dict[str, Expr]:
+    """Resolve a procedural statement tree into per-target expressions.
+
+    Verilog semantics: within one process the last assignment wins; a
+    register not assigned on some branch keeps its value (modeled by
+    falling back to the register's own identifier).
+    """
+    out: dict[str, Expr] = {}
+    for stmt in stmts:
+        if isinstance(stmt, NonBlockingAssign):
+            out[stmt.target] = stmt.value
+        elif isinstance(stmt, IfStatement):
+            then_map = _merge_statements(stmt.then_stmts)
+            else_map = _merge_statements(stmt.else_stmts)
+            for target in set(then_map) | set(else_map):
+                hold = out.get(target, Identifier(target))
+                out[target] = Ternary(stmt.condition,
+                                      then_map.get(target, hold),
+                                      else_map.get(target, hold))
+        elif isinstance(stmt, CaseStatement):
+            # Desugar to a chain of equality-guarded ternaries, evaluated
+            # from the last item backward so earlier items take priority.
+            maps = [(match, _merge_statements(body))
+                    for match, body in stmt.items]
+            targets = {t for _, m in maps for t in m}
+            for target in targets:
+                hold = out.get(target, Identifier(target))
+                result = hold
+                for match, branch in reversed(maps):
+                    if match is None:       # default arm
+                        result = branch.get(target, result)
+                    else:
+                        result = Ternary(BinaryOp("==", stmt.subject, match),
+                                         branch.get(target, hold), result)
+                out[target] = result
+        else:
+            raise TypeError(f"unsupported procedural statement: {type(stmt).__name__}")
+    return out
+
+
+@dataclass(frozen=True)
+class GenerateFor:
+    """An unrollable ``generate`` for-loop.
+
+    ``genvar`` iterates from ``start`` while ``condition`` holds,
+    stepping by ``step`` (all constant expressions); ``label`` names the
+    block; the body holds nets/assigns/instances/always blocks.
+    """
+
+    genvar: str
+    start: Expr
+    limit: Expr          # loop continues while genvar < limit
+    step: Expr
+    label: str
+    nets: tuple = ()
+    assigns: tuple = ()
+    instances: tuple = ()
+    always_blocks: tuple = ()
+
+
+@dataclass(frozen=True)
+class Instance:
+    module_name: str
+    instance_name: str
+    param_overrides: tuple[tuple[str, Expr], ...]
+    connections: tuple[tuple[str, Expr], ...]   # (port, expr); port '' = positional
+
+
+@dataclass
+class ModuleDef:
+    name: str
+    ports: list[PortDecl] = field(default_factory=list)
+    params: list[ParamDecl] = field(default_factory=list)
+    nets: list[NetDecl] = field(default_factory=list)
+    assigns: list[ContinuousAssign] = field(default_factory=list)
+    always_blocks: list[AlwaysBlock] = field(default_factory=list)
+    instances: list[Instance] = field(default_factory=list)
+    generates: list["GenerateFor"] = field(default_factory=list)
+
+
+@dataclass
+class SourceFile:
+    modules: dict[str, ModuleDef] = field(default_factory=dict)
+
+    def module(self, name: str) -> ModuleDef:
+        if name not in self.modules:
+            raise KeyError(f"module {name!r} not defined; have {sorted(self.modules)}")
+        return self.modules[name]

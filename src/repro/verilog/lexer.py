@@ -1,0 +1,73 @@
+"""Tokenizer for the supported Verilog-2001 subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["Token", "VerilogSyntaxError", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset({
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "posedge", "negedge", "begin", "end", "if",
+    "else", "parameter", "localparam", "integer",
+    "generate", "endgenerate", "genvar", "for",
+    "case", "endcase", "default",
+})
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("NUMBER", r"\d+'[bodhBODH][0-9a-fA-F_xXzZ?]+|\d+"),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_$]*"),
+    ("OP", r"<=|>=|==|!=|<<|>>|&&|\|\||[-+*/%&|^~!<>=?:#.@(){}\[\],;]"),
+    ("WS", r"\s+"),
+    ("BAD", r"."),
+]
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC),
+                     re.DOTALL)
+
+
+class VerilogSyntaxError(SyntaxError):
+    """Raised on malformed input anywhere in the front-end."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str           # 'KEYWORD' | 'IDENT' | 'NUMBER' | 'OP' | 'EOF'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize Verilog source; comments and whitespace are dropped."""
+    tokens: list[Token] = []
+    line = 1
+    for match in _MASTER.finditer(source):
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("WS", "COMMENT"):
+            line += text.count("\n")
+            continue
+        if kind == "BAD":
+            raise VerilogSyntaxError(f"unexpected character {text!r} at line {line}")
+        if kind == "IDENT" and text in KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+    tokens.append(Token("EOF", "", line))
+    return tokens
+
+
+def parse_number(text: str) -> tuple[int, int | None]:
+    """Parse a Verilog literal; returns (value, width or None)."""
+    if "'" not in text:
+        return int(text), None
+    width_str, rest = text.split("'", 1)
+    base_char = rest[0].lower()
+    digits = rest[1:].replace("_", "").replace("?", "0")
+    digits = digits.replace("x", "0").replace("X", "0").replace("z", "0").replace("Z", "0")
+    base = {"b": 2, "o": 8, "d": 10, "h": 16}[base_char]
+    return int(digits, base), int(width_str)

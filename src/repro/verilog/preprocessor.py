@@ -1,0 +1,161 @@
+"""The Verilog preprocessor: ```define``, ```ifdef``, ```include``.
+
+Runs before the lexer, the way real tools stage compilation.  Supported
+directives:
+
+- ```define NAME value`` / ```undef NAME`` — object-like macros
+  (function-like macros are rejected with a clear error);
+- ```ifdef NAME`` / ```ifndef NAME`` / ```else`` / ```endif`` — may nest;
+- ```include "file.v"`` — resolved against the including file's
+  directory then the supplied search paths, with cycle detection;
+- ```NAME`` — macro expansion (recursively, with self-reference guard).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from .lexer import VerilogSyntaxError
+
+__all__ = ["preprocess", "PreprocessorError"]
+
+_DIRECTIVE = re.compile(r"`(\w+)")
+_MAX_EXPANSION_DEPTH = 32
+
+
+class PreprocessorError(VerilogSyntaxError):
+    """Raised for malformed directives, missing includes, or macro cycles."""
+
+
+def preprocess(source: str, include_paths: list[str] | None = None,
+               defines: dict[str, str] | None = None,
+               _origin: Path | None = None,
+               _stack: tuple[Path, ...] = ()) -> str:
+    """Expand directives and macros; returns plain Verilog text."""
+    state = _State(
+        macros=dict(defines or {}),
+        include_paths=[Path(p) for p in (include_paths or [])],
+    )
+    return _process(source, state, _origin, _stack)
+
+
+class _State:
+    def __init__(self, macros: dict[str, str], include_paths: list[Path]):
+        self.macros = macros
+        self.include_paths = include_paths
+
+
+def _process(source: str, state: _State, origin: Path | None,
+             stack: tuple[Path, ...]) -> str:
+    out_lines: list[str] = []
+    # Condition stack entries: (taking, seen_else).
+    conditions: list[list[bool]] = []
+
+    def active() -> bool:
+        return all(taking for taking, _ in conditions)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("`"):
+            match = _DIRECTIVE.match(stripped)
+            name = match.group(1) if match else ""
+            rest = stripped[len(f"`{name}"):].strip()
+            if name == "define":
+                if active():
+                    _handle_define(rest, state, lineno)
+                continue
+            if name == "undef":
+                if active():
+                    state.macros.pop(rest.split()[0], None)
+                continue
+            if name in ("ifdef", "ifndef"):
+                if not rest:
+                    raise PreprocessorError(f"`{name} without a macro name "
+                                            f"(line {lineno})")
+                defined = rest.split()[0] in state.macros
+                taking = defined if name == "ifdef" else not defined
+                conditions.append([taking, False])
+                continue
+            if name == "else":
+                if not conditions or conditions[-1][1]:
+                    raise PreprocessorError(f"unmatched `else (line {lineno})")
+                conditions[-1][0] = not conditions[-1][0]
+                conditions[-1][1] = True
+                continue
+            if name == "endif":
+                if not conditions:
+                    raise PreprocessorError(f"unmatched `endif (line {lineno})")
+                conditions.pop()
+                continue
+            if name == "include":
+                if active():
+                    out_lines.append(_handle_include(rest, state, origin,
+                                                     stack, lineno))
+                continue
+            # Unknown directive at line start: treat as macro use, fall
+            # through to expansion.
+        if active():
+            out_lines.append(_expand_macros(line, state, lineno))
+    if conditions:
+        raise PreprocessorError("unterminated `ifdef block at end of file")
+    return "\n".join(out_lines)
+
+
+def _handle_define(rest: str, state: _State, lineno: int) -> None:
+    if not rest:
+        raise PreprocessorError(f"`define without a macro name (line {lineno})")
+    parts = rest.split(None, 1)
+    name = parts[0]
+    if "(" in name:
+        raise PreprocessorError(
+            f"function-like macros are not supported: `{name} (line {lineno})")
+    state.macros[name] = parts[1].strip() if len(parts) > 1 else "1"
+
+
+def _handle_include(rest: str, state: _State, origin: Path | None,
+                    stack: tuple[Path, ...], lineno: int) -> str:
+    match = re.match(r'"([^"]+)"', rest)
+    if not match:
+        raise PreprocessorError(f'`include expects a quoted path (line {lineno})')
+    target = match.group(1)
+    candidates = []
+    if origin is not None:
+        candidates.append(origin.parent / target)
+    candidates.extend(base / target for base in state.include_paths)
+    candidates.append(Path(target))
+    for candidate in candidates:
+        if candidate.is_file():
+            resolved = candidate.resolve()
+            if resolved in stack:
+                chain = " -> ".join(str(p) for p in stack + (resolved,))
+                raise PreprocessorError(f"circular `include: {chain}")
+            text = resolved.read_text()
+            return _process(text, state, resolved, stack + (resolved,))
+    raise PreprocessorError(
+        f"cannot find include file {target!r} (line {lineno}); "
+        f"searched {[str(c) for c in candidates]}")
+
+
+def _expand_macros(line: str, state: _State, lineno: int) -> str:
+    depth = 0
+    while "`" in line:
+        depth += 1
+        if depth > _MAX_EXPANSION_DEPTH:
+            raise PreprocessorError(
+                f"macro expansion too deep (line {lineno}); recursive `define?")
+        replaced = False
+
+        def substitute(match: re.Match) -> str:
+            nonlocal replaced
+            name = match.group(1)
+            if name in state.macros:
+                replaced = True
+                return state.macros[name]
+            raise PreprocessorError(
+                f"undefined macro `{name} (line {lineno})")
+
+        line = _DIRECTIVE.sub(substitute, line)
+        if not replaced:
+            break
+    return line

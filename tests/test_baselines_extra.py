@@ -1,0 +1,136 @@
+"""Tests for the random-forest and GCN baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DecisionTreeRegressor,
+    ForestDesignModel,
+    GCNConfig,
+    GCNPowerModel,
+    RandomForestRegressor,
+)
+from tests.test_baselines import chain_graph
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        y = (X[:, 0] >= 10).astype(float) * 5.0
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        np.testing.assert_allclose(tree.predict(np.array([[3.0], [15.0]])),
+                                   [0.0, 5.0])
+
+    def test_depth_limit(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        tree = DecisionTreeRegressor().fit(X, np.full(10, 7.0))
+        assert tree.depth() == 0
+        np.testing.assert_allclose(tree.predict(X), 7.0)
+
+    def test_min_samples_leaf(self):
+        X = np.arange(6.0).reshape(-1, 1)
+        y = np.array([0.0, 0, 0, 1, 1, 1])
+        tree = DecisionTreeRegressor(min_samples_leaf=3).fit(X, y)
+        # the only legal split is the 3/3 one
+        assert tree.depth() <= 1
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_property_leaf_values_within_target_range(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 2))
+        y = rng.uniform(-5, 5, size=30)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        preds = tree.predict(X)
+        assert preds.min() >= y.min() - 1e-9
+        assert preds.max() <= y.max() + 1e-9
+
+
+class TestRandomForest:
+    def test_generalizes_on_noisy_linear_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 4))
+        y = X[:, 0] * 3 + rng.normal(scale=0.5, size=80)
+        X_test = rng.normal(size=(40, 4))
+        y_test = X_test[:, 0] * 3
+        forest = RandomForestRegressor(n_trees=25, seed=0).fit(X, y)
+        err_forest = np.mean((forest.predict(X_test) - y_test) ** 2)
+        # Far better than predicting the mean (variance of the target).
+        assert err_forest < 0.5 * y_test.var()
+
+    def test_ensemble_smoother_than_one_tree(self):
+        """Averaged trees give intermediate values a single tree cannot."""
+        X = np.arange(20.0).reshape(-1, 1)
+        y = (X[:, 0] >= 10).astype(float)
+        forest = RandomForestRegressor(n_trees=40, seed=0).fit(X, y)
+        mid = forest.predict(np.array([[9.7]]))[0]
+        assert 0.0 < mid < 1.0
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(30, 3))
+        y = rng.normal(size=30)
+        p1 = RandomForestRegressor(n_trees=5, seed=7).fit(X, y).predict(X)
+        p2 = RandomForestRegressor(n_trees=5, seed=7).fit(X, y).predict(X)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_trees=0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((1, 2)))
+
+
+class TestForestDesignModel:
+    def test_fits_design_scale(self):
+        graphs = [chain_graph(n) for n in (1, 2, 4, 6, 8, 10, 14, 18)]
+        labels = np.stack([[50.0 + 20 * g.num_nodes,
+                            100.0 * g.num_nodes,
+                            g.num_nodes] for g in graphs])
+        model = ForestDesignModel(n_trees=15, seed=0).fit(graphs, labels)
+        preds = model.predict([chain_graph(3), chain_graph(16)])
+        assert preds.shape == (2, 3)
+        assert preds[1, 1] > preds[0, 1]  # bigger design -> more area
+
+
+class TestGCNPower:
+    def test_learns_power_scale(self):
+        graphs = [chain_graph(n) for n in (1, 2, 4, 6, 9, 12)]
+        powers = np.array([0.1 * g.num_nodes for g in graphs])
+        model = GCNPowerModel(GCNConfig(epochs=60, hidden_size=16, seed=0))
+        model.fit(graphs, powers)
+        preds = model.predict([chain_graph(2), chain_graph(11)])
+        assert preds[1] > preds[0]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GCNPowerModel().predict([chain_graph(1)])
+
+    def test_too_few_graphs(self):
+        with pytest.raises(ValueError):
+            GCNPowerModel().fit([chain_graph(1)], np.array([1.0]))
+
+    def test_nonnegative(self):
+        graphs = [chain_graph(n) for n in (1, 3, 5, 7)]
+        model = GCNPowerModel(GCNConfig(epochs=10, hidden_size=8))
+        model.fit(graphs, np.array([0.5, 1.0, 1.5, 2.0]))
+        assert (model.predict(graphs) >= 0).all()

@@ -1,0 +1,133 @@
+"""Tests for SNS model persistence and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import (
+    SNS,
+    CircuitformerConfig,
+    PathSampler,
+    TrainingConfig,
+    load_sns,
+    save_sns,
+)
+from repro.datagen import build_design_dataset
+from repro.designs import standard_designs
+from repro.synth import Synthesizer
+
+TINY_CF = CircuitformerConfig(embedding_size=16, dim_feedforward=32, max_input_size=64)
+
+MAC_V = """
+module mac(input clk, input [7:0] a, input [7:0] b, output [15:0] y);
+  reg [15:0] acc;
+  always @(posedge clk) acc <= acc + a * b;
+  assign y = acc;
+endmodule
+"""
+
+
+@pytest.fixture(scope="module")
+def tiny_sns():
+    synth = Synthesizer(effort="low")
+    entries = [e for e in standard_designs()
+               if e.name in ("gpio16", "piecewise8", "mergesort8", "sodor32",
+                             "icenet64", "conv3x3")]
+    records = build_design_dataset(entries, synth)
+    sns = SNS(sampler=PathSampler(k=5, max_paths=40, seed=0),
+              circuitformer_config=TINY_CF,
+              training_config=TrainingConfig(circuitformer_epochs=4,
+                                             aggregator_epochs=60))
+    sns.fit(records, synthesizer=synth)
+    return sns, records
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tiny_sns, tmp_path):
+        sns, records = tiny_sns
+        path = tmp_path / "model.npz"
+        save_sns(sns, path)
+        loaded = load_sns(path)
+        for record in records[:3]:
+            a = sns.predict(record.graph)
+            b = loaded.predict(record.graph)
+            assert a.timing_ps == pytest.approx(b.timing_ps)
+            assert a.area_um2 == pytest.approx(b.area_um2)
+            assert a.power_mw == pytest.approx(b.power_mw)
+
+    def test_loaded_sampler_config(self, tiny_sns, tmp_path):
+        sns, _ = tiny_sns
+        path = tmp_path / "model.npz"
+        save_sns(sns, path)
+        loaded = load_sns(path)
+        assert loaded.sampler.k == sns.sampler.k
+        assert loaded.sampler.max_paths == sns.sampler.max_paths
+
+    def test_refuses_unfitted(self, tmp_path):
+        sns = SNS(circuitformer_config=TINY_CF)
+        with pytest.raises(ValueError):
+            save_sns(sns, tmp_path / "nope.npz")
+
+
+class TestCLI:
+    def test_synth_command(self, tmp_path, capsys):
+        design = tmp_path / "mac.v"
+        design.write_text(MAC_V)
+        assert main(["synth", str(design), "--effort", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "timing:" in out and "area:" in out and "power:" in out
+
+    def test_paths_command(self, tmp_path, capsys):
+        design = tmp_path / "mac.v"
+        design.write_text(MAC_V)
+        assert main(["paths", str(design), "-k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mul16" in out
+
+    def test_predict_command(self, tiny_sns, tmp_path, capsys):
+        sns, _ = tiny_sns
+        model = tmp_path / "model.npz"
+        save_sns(sns, model)
+        design = tmp_path / "mac.v"
+        design.write_text(MAC_V)
+        assert main(["predict", str(model), str(design)]) == 0
+        out = capsys.readouterr().out
+        assert "critical path:" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCLIReportExport:
+    def test_report_command(self, tmp_path, capsys):
+        design = tmp_path / "mac.v"
+        design.write_text(MAC_V)
+        assert main(["report", str(design)]) == 0
+        out = capsys.readouterr().out
+        assert "-- timing" in out and "-- area --" in out and "-- power --" in out
+
+    def test_export_list(self, capsys):
+        assert main(["export", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "lut128x8" in out and "stencil16" in out
+        assert len(out.strip().splitlines()) == 41
+
+    def test_export_roundtrips_through_frontend(self, tmp_path, capsys):
+        out_file = tmp_path / "gpio.v"
+        assert main(["export", "gpio16", str(out_file)]) == 0
+        from repro.graphir import token_counts
+        from repro.designs import get_design
+        from repro.verilog import elaborate_source
+        rebuilt = elaborate_source(out_file.read_text())
+        original = get_design("gpio16").module.elaborate()
+        strip_io = lambda c: {t: n for t, n in c.items() if not t.startswith("io")}
+        assert strip_io(token_counts(rebuilt)) == strip_io(token_counts(original))
+
+    def test_export_missing_args(self, capsys):
+        assert main(["export"]) == 2
+
+    def test_export_unknown_design(self):
+        import pytest as _pytest
+        with _pytest.raises(KeyError):
+            main(["export", "warp-core", "/tmp/x.v"])

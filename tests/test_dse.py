@@ -1,0 +1,110 @@
+"""Tests for the generic design-space exploration utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designs import GEMMUnit, SIMDALU
+from repro.dse import DesignSpaceExplorer, ParameterGrid
+from repro.synth import Synthesizer
+
+
+class TestParameterGrid:
+    def test_len_is_product(self):
+        grid = ParameterGrid({"a": (1, 2), "b": (1, 2, 3), "c": (True, False)})
+        assert len(grid) == 12
+
+    def test_iteration_covers_all(self):
+        grid = ParameterGrid({"a": (1, 2), "b": ("x", "y")})
+        points = list(grid)
+        assert len(points) == 4
+        assert {tuple(sorted(p.items())) for p in points} == {
+            (("a", 1), ("b", "x")), (("a", 1), ("b", "y")),
+            (("a", 2), ("b", "x")), (("a", 2), ("b", "y"))}
+
+    def test_subset_constraint_and_stride(self):
+        grid = ParameterGrid({"n": tuple(range(10))})
+        evens = grid.subset(constraint=lambda p: p["n"] % 2 == 0)
+        assert [p["n"] for p in evens] == [0, 2, 4, 6, 8]
+        strided = grid.subset(stride=3)
+        assert [p["n"] for p in strided] == [0, 3, 6, 9]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": ()})
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": (1,)}).subset(stride=0)
+
+    def test_describe(self):
+        text = ParameterGrid({"w": (8, 16)}).describe()
+        assert "w: 8, 16 (2)" in text
+        assert "total combinations: 2" in text
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_property_len_matches_iteration(self, n_a, n_b):
+        grid = ParameterGrid({"a": tuple(range(n_a)), "b": tuple(range(n_b))})
+        assert len(list(grid)) == len(grid) == n_a * n_b
+
+
+class TestExplorer:
+    @pytest.fixture(scope="class")
+    def result(self):
+        explorer = DesignSpaceExplorer(SIMDALU, Synthesizer(effort="low"))
+        grid = ParameterGrid({"lanes": (1, 2, 4), "width": (16, 32)})
+        return explorer.explore(grid)
+
+    def test_all_points_evaluated(self, result):
+        assert len(result.points) == 6
+        assert result.runtime_s > 0
+
+    def test_points_carry_params(self, result):
+        lanes = sorted({p.params["lanes"] for p in result.points})
+        assert lanes == [1, 2, 4]
+
+    def test_bigger_configs_cost_more(self, result):
+        by_params = {(p.params["lanes"], p.params["width"]): p
+                     for p in result.points}
+        assert by_params[(4, 32)].area_um2 > by_params[(1, 16)].area_um2
+
+    def test_default_score_is_frequency(self, result):
+        for p in result.points:
+            assert p.score == pytest.approx(p.frequency_ghz, rel=1e-9)
+
+    def test_custom_score(self):
+        explorer = DesignSpaceExplorer(
+            SIMDALU, Synthesizer(effort="low"),
+            score=lambda params, t, a, pw: params["lanes"] * 1000.0 / t)
+        point = explorer.evaluate({"lanes": 4, "width": 16})
+        assert point.score == pytest.approx(4 * point.frequency_ghz, rel=1e-9)
+
+    def test_pareto_front_dominance(self, result):
+        front = result.pareto(cost="area_um2")
+        areas = [p.area_um2 for p in front]
+        scores = [p.score for p in front]
+        assert areas == sorted(areas)
+        assert scores == sorted(scores)
+
+    def test_best_by_name_and_callable(self, result):
+        assert result.best("score").score == max(p.score for p in result.points)
+        cheapest = result.best(lambda p: -p.area_um2)
+        assert cheapest.area_um2 == min(p.area_um2 for p in result.points)
+
+    def test_constraint_filters(self):
+        explorer = DesignSpaceExplorer(GEMMUnit, Synthesizer(effort="low"))
+        grid = ParameterGrid({"rows": (1, 2), "cols": (1, 2)})
+        result = explorer.explore(grid, constraint=lambda p: p["rows"] == p["cols"])
+        assert len(result.points) == 2
+
+    def test_empty_after_filter_raises(self):
+        explorer = DesignSpaceExplorer(SIMDALU, Synthesizer(effort="low"))
+        with pytest.raises(ValueError):
+            explorer.explore(ParameterGrid({"lanes": (1,)}),
+                             constraint=lambda p: False)
+
+    def test_bad_engine_rejected(self):
+        with pytest.raises(TypeError):
+            DesignSpaceExplorer(SIMDALU, engine="yosys")

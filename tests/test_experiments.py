@@ -1,0 +1,128 @@
+"""Tests for the experiment harnesses (fast preset)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import train_test_split_by_family
+from repro.experiments import (
+    FAST,
+    FULL,
+    AccuracyReport,
+    PredictionRow,
+    build_dataset,
+    dsage_timing_comparison,
+    evaluate_split,
+    fit_sns,
+    format_series,
+    format_table,
+    ascii_scatter,
+    run_datatype_sweep,
+    run_tn_sweep,
+    runtime_comparison,
+    strided_subspace,
+)
+from repro.synth import Synthesizer
+
+
+@pytest.fixture(scope="module")
+def records():
+    return build_dataset(FAST)
+
+
+@pytest.fixture(scope="module")
+def trained(records):
+    train, test = train_test_split_by_family(records, 0.5, seed=0)
+    return fit_sns(train, FAST), train, test
+
+
+class TestSettings:
+    def test_presets_distinct(self):
+        assert FAST.sampler_max_paths < FULL.sampler_max_paths
+        assert FULL.circuitformer.embedding_size == 128
+        assert FAST.augmentation is None and FULL.augmentation is not None
+
+    def test_make_sampler(self):
+        sampler = FAST.make_sampler()
+        assert sampler.k == FAST.sampler_k
+        assert sampler.max_paths == FAST.sampler_max_paths
+
+
+class TestAccuracyHarness:
+    def test_build_dataset_honors_node_cap(self, records):
+        assert all(r.graph.num_nodes <= FAST.max_design_nodes for r in records)
+        assert len(records) > 20
+
+    def test_evaluate_split_rows(self, trained):
+        sns, _, test = trained
+        rows = evaluate_split(sns, test[:4])
+        assert len(rows) == 4
+        for row in rows:
+            assert all(v > 0 for v in row.actual)
+            assert all(v >= 0 for v in row.predicted)
+
+    def test_report_metrics_finite(self, trained):
+        sns, _, test = trained
+        report = AccuracyReport.from_rows(evaluate_split(sns, test))
+        for target in ("timing", "area", "power"):
+            assert np.isfinite(report.rrse[target])
+            assert np.isfinite(report.maep[target])
+
+    def test_dsage_comparison_runs(self, records):
+        value = dsage_timing_comparison(records, FAST, epochs=5)
+        assert np.isfinite(value) and value > 0
+
+
+class TestRuntimeHarness:
+    def test_runtime_rows(self, trained, records):
+        sns, _, _ = trained
+        report = runtime_comparison(sns, records[:6], synth_effort="low")
+        assert len(report.rows) == 6
+        for row in report.rows:
+            assert row.sns_seconds > 0 and row.synth_seconds > 0
+        assert report.average_speedup > 0
+
+    def test_desktop_factor_slows_sns(self, trained, records):
+        sns, _, _ = trained
+        base = runtime_comparison(sns, records[:3], synth_effort="low")
+        slow = runtime_comparison(sns, records[:3], synth_effort="low",
+                                  desktop_factor=10.0)
+        assert slow.average_speedup < base.average_speedup
+
+
+class TestCaseStudyHarnesses:
+    def test_strided_subspace(self):
+        assert len(strided_subspace(1)) == 2592
+        assert len(strided_subspace(100)) == 26
+
+    def test_tn_sweep_with_synthesizer(self):
+        result = run_tn_sweep(Synthesizer(effort="low"))
+        assert sorted(p.config.tn for p in result.points) == [4, 8, 16, 32]
+
+    def test_datatype_sweep_with_synthesizer(self):
+        result = run_datatype_sweep(Synthesizer(effort="low"))
+        assert len(result.points) == 6
+        assert all(0 <= p.accuracy <= 1 for p in result.points)
+
+    def test_engine_type_checked(self):
+        with pytest.raises(TypeError):
+            run_tn_sweep("not an engine")
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [33, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) <= 2  # header/sep/rows aligned
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [10.0, 20.0], "x", "y")
+        assert "s" in text and "->" in text
+
+    def test_ascii_scatter_contains_points(self):
+        text = ascii_scatter([1, 10, 100], [1, 10, 100], width=20, height=5)
+        assert text.count("*") >= 2
+
+    def test_ascii_scatter_degenerate(self):
+        text = ascii_scatter([5.0, 5.0], [5.0, 5.0], width=10, height=3)
+        assert "*" in text

@@ -1,0 +1,89 @@
+"""Gradient and behavior coverage for the remaining tensor operations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, huber_loss, l1_loss
+
+from tests.test_nn_tensor import numeric_grad
+
+
+class TestGelu:
+    def test_matches_reference_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = x.gelu().data
+        assert out[0] == pytest.approx(0.0, abs=1e-9)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)   # GELU(1)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)  # GELU(-1)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(0)
+        x_data = rng.normal(size=(6,))
+        x = Tensor(x_data.copy(), requires_grad=True)
+        x.gelu().sum().backward()
+        num = numeric_grad(lambda a: Tensor(a).gelu().sum().item(), x_data.copy())
+        np.testing.assert_allclose(x.grad, num, atol=1e-5)
+
+    def test_monotone_for_positive(self):
+        xs = np.linspace(0.1, 3.0, 20)
+        out = Tensor(xs).gelu().data
+        assert (np.diff(out) > 0).all()
+
+
+class TestSwapaxes:
+    def test_shape_and_gradient(self):
+        x = Tensor(np.arange(24.0).reshape(2, 3, 4), requires_grad=True)
+        y = x.swapaxes(1, 2)
+        assert y.shape == (2, 4, 3)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((2, 3, 4)))
+
+    def test_roundtrip(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3))
+        np.testing.assert_array_equal(x.swapaxes(0, 1).swapaxes(0, 1).data, x.data)
+
+
+class TestLossGradients:
+    def test_l1_gradient_is_sign(self):
+        x = Tensor(np.array([3.0, -2.0]), requires_grad=True)
+        l1_loss(x, np.zeros(2)).backward()
+        np.testing.assert_allclose(x.grad, [0.5, -0.5], atol=1e-5)
+
+    def test_huber_gradient_saturates(self):
+        """Beyond delta, the gradient magnitude is delta/n."""
+        x = Tensor(np.array([10.0, -10.0]), requires_grad=True)
+        huber_loss(x, np.zeros(2), delta=1.0).backward()
+        np.testing.assert_allclose(np.abs(x.grad), [0.5, 0.5], atol=1e-4)
+
+    def test_huber_quadratic_inside_delta(self):
+        x_data = np.array([0.3])
+        x = Tensor(x_data.copy(), requires_grad=True)
+        huber_loss(x, np.zeros(1), delta=1.0).backward()
+        assert x.grad[0] == pytest.approx(0.3, abs=1e-4)
+
+
+class TestMixedGraphs:
+    def test_shared_subexpression_gradients_accumulate(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x.exp()
+        z = y * y + y  # dz/dx = (2y + 1) * y
+        z.backward()
+        e = np.exp(2.0)
+        assert x.grad[0] == pytest.approx((2 * e + 1) * e, rel=1e-9)
+
+    def test_backward_twice_accumulates(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 3).sum().backward()
+        first = x.grad.copy()
+        (x * 3).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 3).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_repr_marks_grad(self):
+        assert "requires_grad" in repr(Tensor(np.ones(1), requires_grad=True))
+        assert "requires_grad" not in repr(Tensor(np.ones(1)))
