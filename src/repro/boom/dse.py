@@ -77,37 +77,65 @@ class BoomDSE:
 
     def __init__(self, predictor: SNS | None = None,
                  synthesizer: Synthesizer | None = None,
-                 perf_model: CoreMarkModel | None = None):
+                 perf_model: CoreMarkModel | None = None,
+                 cache=None, batch_size: int = 32):
         if (predictor is None) == (synthesizer is None):
             raise ValueError("provide exactly one of predictor / synthesizer")
         self.predictor = predictor
         self.synthesizer = synthesizer
         self.perf_model = perf_model or CoreMarkModel()
+        if predictor is not None:
+            from ..runtime import BatchPredictor, PredictionCache
+
+            self._batch_engine = BatchPredictor(
+                predictor, cache=cache or PredictionCache(),
+                batch_size=batch_size)
+        else:
+            self._batch_engine = None
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, config: BoomConfig) -> DSEPoint:
-        graph = BoomCore(config).elaborate()
-        if self.predictor is not None:
-            pred = self.predictor.predict(graph)
-            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
-        else:
-            result = self.synthesizer.synthesize(graph)
-            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+    def _make_point(self, config: BoomConfig, timing: float, area: float,
+                    power: float) -> DSEPoint:
         timing = max(timing, 1.0)
         freq = 1000.0 / timing
         score = self.perf_model.score(config, freq)
         return DSEPoint(config, timing, area, power, score)
 
+    def evaluate(self, config: BoomConfig) -> DSEPoint:
+        graph = BoomCore(config).elaborate()
+        if self._batch_engine is not None:
+            pred = self._batch_engine.predict_batch([graph])[0]
+            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
+        else:
+            result = self.synthesizer.synthesize(graph)
+            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+        return self._make_point(config, timing, area, power)
+
     def run(self, configs: list[BoomConfig], verbose: bool = False) -> DSEResult:
-        """Evaluate all configs; scores are normalized so the best is 1.0."""
+        """Evaluate all configs; scores are normalized so the best is 1.0.
+
+        SNS-backed runs evaluate the whole space through the batched
+        runtime: paths shared between sibling configurations (BOOM
+        variants reuse most of their datapath) are predicted once, and
+        the content-addressed cache makes re-running an overlapping
+        sweep near-free.
+        """
         if not configs:
             raise ValueError("no configurations to explore")
         start = time.perf_counter()
-        points = []
-        for i, config in enumerate(configs):
-            points.append(self.evaluate(config))
-            if verbose and (i + 1) % 100 == 0:
-                print(f"[boom-dse] {i + 1}/{len(configs)} evaluated")
+        if self._batch_engine is not None:
+            graphs = [BoomCore(config).elaborate() for config in configs]
+            if verbose:
+                print(f"[boom-dse] batch-predicting {len(graphs)} configs")
+            preds = self._batch_engine.predict_batch(graphs)
+            points = [self._make_point(c, p.timing_ps, p.area_um2, p.power_mw)
+                      for c, p in zip(configs, preds)]
+        else:
+            points = []
+            for i, config in enumerate(configs):
+                points.append(self.evaluate(config))
+                if verbose and (i + 1) % 100 == 0:
+                    print(f"[boom-dse] {i + 1}/{len(configs)} evaluated")
         top = max(p.score for p in points)
         normalized = [DSEPoint(p.config, p.timing_ps, p.area_um2, p.power_mw,
                                p.score / top) for p in points]

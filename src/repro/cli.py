@@ -8,9 +8,10 @@ report FILE.v     Print the full EDA-style report (worst timing paths,
                   area and power breakdowns).
 train OUT.npz     Train SNS on the bundled hardware design dataset and
                   save the model.
-predict MODEL FILE.v
-                  Predict a Verilog design with a trained model (and
-                  print the predicted critical path).
+predict MODEL FILE.v [FILE2.v ...]
+                  Predict one or more Verilog designs with a trained
+                  model through the batched runtime (``--cache-dir``
+                  persists the prediction cache across invocations).
 paths FILE.v      Sample complete circuit paths from a design.
 export NAME OUT.v Emit a bundled dataset design as Verilog
                   (``export --list`` shows the 41 names).
@@ -63,12 +64,7 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_predict(args) -> int:
-    from .core.persistence import load_sns
-
-    sns = load_sns(args.model)
-    graph = _read_design(args.design)
-    pred = sns.predict(graph)
+def _print_prediction(pred) -> None:
     print(f"design:  {pred.design}")
     print(f"timing:  {pred.timing_ps:.1f} ps ({pred.frequency_ghz:.3f} GHz)")
     print(f"area:    {pred.area_um2:.1f} um2 ({pred.area_mm2:.6f} mm2)")
@@ -76,6 +72,25 @@ def _cmd_predict(args) -> int:
     print(f"paths:   {pred.num_paths} sampled; runtime {pred.runtime_s * 1e3:.1f} ms")
     if pred.critical_path is not None:
         print("critical path: " + " -> ".join(pred.critical_path.tokens))
+
+
+def _cmd_predict(args) -> int:
+    from .core.persistence import load_sns
+    from .runtime import BatchPredictor, PredictionCache
+
+    sns = load_sns(args.model)
+    graphs = [_read_design(path) for path in args.designs]
+    cache = PredictionCache(disk_dir=args.cache_dir)
+    engine = BatchPredictor(sns, cache=cache, caching=not args.no_cache)
+    preds = engine.predict_batch(graphs)
+    for i, pred in enumerate(preds):
+        if i:
+            print()
+        _print_prediction(pred)
+    if len(preds) > 1 or args.cache_dir:
+        stats = cache.stats
+        print(f"\n[{len(preds)} designs; cache: {stats.memory_hits} memory / "
+              f"{stats.disk_hits} disk hits, {stats.misses} misses]")
     return 0
 
 
@@ -137,7 +152,12 @@ def main(argv: list[str] | None = None) -> int:
 
     p_pred = sub.add_parser("predict", help="predict with a trained model")
     p_pred.add_argument("model")
-    p_pred.add_argument("design")
+    p_pred.add_argument("designs", nargs="+", metavar="design",
+                        help="one or more Verilog files (batched together)")
+    p_pred.add_argument("--cache-dir", default=None,
+                        help="persist the prediction cache to this directory")
+    p_pred.add_argument("--no-cache", action="store_true",
+                        help="disable the prediction cache")
     p_pred.set_defaults(fn=_cmd_predict)
 
     p_paths = sub.add_parser("paths", help="sample complete circuit paths")

@@ -15,9 +15,27 @@ import numpy as np
 from .. import nn
 from ..graphir import Vocabulary
 
-__all__ = ["CircuitformerConfig", "Circuitformer", "TargetScaler", "encode_batch"]
+__all__ = ["CircuitformerConfig", "Circuitformer", "TargetScaler", "encode_batch",
+           "bucket_for_length", "BUCKET_BOUNDARIES"]
 
 TARGETS = ("timing", "area", "power")
+
+# Padded-length buckets for batched inference.  Sequences are padded to the
+# smallest boundary that fits instead of the global maximum, so a 4-token
+# path costs a 9-wide forward pass (cls + 8) rather than a 65-wide one.
+# Boundaries start at 8: together with the >=2-row batch floor this keeps
+# every flattened matmul past the small-matrix BLAS kernels whose summation
+# order differs from the large-matrix ones (see ``predict_unique``).
+BUCKET_BOUNDARIES = (8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 511)
+
+
+def bucket_for_length(length: int, max_len: int) -> int:
+    """Smallest bucket boundary that holds ``length`` (clamped to ``max_len``)."""
+    length = min(length, max_len)
+    for b in BUCKET_BOUNDARIES:
+        if b >= length:
+            return min(b, max_len)
+    return max_len
 
 
 @dataclass(frozen=True)
@@ -68,9 +86,15 @@ def encode_batch(token_seqs: list[tuple[str, ...]], vocab: Vocabulary,
     batch = len(token_seqs)
     ids = np.full((batch, max_len + 1), vocab.PAD, dtype=np.int64)
     ids[:, 0] = vocab.CLS
-    for i, seq in enumerate(token_seqs):
-        clipped = list(seq)[:max_len]
-        ids[i, 1:1 + len(clipped)] = vocab.encode(clipped)
+    lengths = np.fromiter((min(len(s), max_len) for s in token_seqs),
+                          dtype=np.int64, count=batch)
+    total = int(lengths.sum())
+    if total:
+        flat = [t for seq in token_seqs for t in seq[:max_len]]
+        rows = np.repeat(np.arange(batch), lengths)
+        offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        cols = np.arange(total) - offsets[rows] + 1
+        ids[rows, cols] = vocab.encode_array(flat)
     pad_mask = ids == vocab.PAD
     return ids, pad_mask
 
@@ -118,15 +142,89 @@ class Circuitformer(nn.Module):
         encoded = self.encoder(x, key_padding_mask=pad_mask)
         return self.head(encoded[:, 0, :])  # CLS position
 
+    def _encode_cls(self, ids: np.ndarray, pad_mask: np.ndarray) -> np.ndarray:
+        """Encoder pass returning the CLS embedding per sequence."""
+        positions = np.broadcast_to(np.arange(ids.shape[1]), ids.shape)
+        x = self.token_embedding(ids) + self.position_embedding(positions)
+        return self.encoder(x, key_padding_mask=pad_mask).numpy()[:, 0, :]
+
+    _HEAD_ROWS = 128
+
+    def _head_rows_fixed(self, cls_emb: np.ndarray) -> np.ndarray:
+        """Run the regression head in fixed-size row groups.
+
+        The head's matmuls are small enough that BLAS picks a different
+        (differently-rounded) kernel depending on the row count; padding
+        every group to exactly ``_HEAD_ROWS`` rows makes each row's output
+        a function of that row alone, independent of batch composition.
+        """
+        out = np.empty((len(cls_emb), 3))
+        for lo in range(0, len(cls_emb), self._HEAD_ROWS):
+            chunk = cls_emb[lo:lo + self._HEAD_ROWS]
+            n = len(chunk)
+            if n < self._HEAD_ROWS:
+                chunk = np.concatenate(
+                    [chunk, np.broadcast_to(chunk[-1], (self._HEAD_ROWS - n,
+                                                        chunk.shape[1]))])
+            out[lo:lo + n] = self.head(nn.Tensor(chunk)).numpy()[:n]
+        return out
+
+    def predict_unique(self, unique_seqs: list[tuple[str, ...]],
+                       batch_size: int = 128) -> np.ndarray:
+        """Physical [timing_ps, area_um2, power_mw] per *unique* sequence.
+
+        This is the canonical inference kernel shared by
+        :meth:`predict_paths` and the batched :mod:`repro.runtime` engine.
+        Sequences are grouped into padded-length buckets
+        (:data:`BUCKET_BOUNDARIES`) and each bucket runs one padded
+        forward pass per ``batch_size`` chunk.  Each sequence's output
+        depends only on its own tokens and its bucket — not on which other
+        sequences share the batch — so serial and cross-design batched
+        prediction are bit-identical.  Two ingredients guarantee that:
+        single-row batches are duplicated to two rows (numpy dispatches
+        one-row matmuls to a differently-rounded GEMV kernel), and the
+        regression head always runs on a fixed row count
+        (:meth:`_head_rows_fixed`).
+        """
+        if not unique_seqs:
+            return np.zeros((0, 3))
+        max_len = self.config.max_input_size - 1
+        buckets: dict[int, list[int]] = {}
+        for i, seq in enumerate(unique_seqs):
+            buckets.setdefault(bucket_for_length(len(seq), max_len), []).append(i)
+
+        self.eval()
+        scaled = np.empty((len(unique_seqs), 3))
+        with nn.no_grad():
+            for bucket in sorted(buckets):
+                idxs = buckets[bucket]
+                for lo in range(0, len(idxs), batch_size):
+                    chunk_idx = idxs[lo:lo + batch_size]
+                    chunk = [unique_seqs[i] for i in chunk_idx]
+                    single = len(chunk) == 1
+                    if single:
+                        chunk = chunk * 2
+                    ids, mask = encode_batch(chunk, self.vocab, bucket)
+                    cls_emb = self._encode_cls(ids, mask)
+                    if single:
+                        cls_emb = cls_emb[:1]
+                    scaled[chunk_idx] = self._head_rows_fixed(cls_emb)
+        return np.maximum(self.scaler.inverse(scaled), 0.0)
+
     # ------------------------------------------------------------------ #
     def predict_paths(self, token_seqs: list[tuple[str, ...]],
-                      batch_size: int = 128) -> np.ndarray:
+                      batch_size: int = 128, bucketed: bool = True) -> np.ndarray:
         """Inference: physical [timing_ps, area_um2, power_mw] per path.
 
         Sampled designs repeat token sequences heavily (a systolic array
         yields hundreds of identical paths), so inference runs on the
         unique sequences only and results are broadcast back — often an
         order-of-magnitude speedup with bit-identical output.
+
+        ``bucketed=True`` (default) routes through the length-bucketed
+        :meth:`predict_unique` kernel; ``bucketed=False`` keeps the
+        original pad-everything-to-the-longest behavior (the pre-runtime
+        baseline, retained for the throughput benchmark).
         """
         if not token_seqs:
             return np.zeros((0, 3))
@@ -135,6 +233,9 @@ class Circuitformer(nn.Module):
         for i, seq in enumerate(token_seqs):
             index[i] = unique.setdefault(tuple(seq), len(unique))
         unique_seqs = list(unique)
+
+        if bucketed:
+            return self.predict_unique(unique_seqs, batch_size=batch_size)[index]
 
         self.eval()
         outs = []

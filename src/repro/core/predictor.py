@@ -148,20 +148,15 @@ class SNS:
     # ------------------------------------------------------------------ #
     # Prediction (Figure 1)
     # ------------------------------------------------------------------ #
-    def predict(self, design: CircuitGraph | Module,
-                activity: dict[int, float] | None = None) -> SNSPrediction:
-        """Predict area, power, and timing of a design.
+    def _aggregate(self, graph: CircuitGraph, paths, preds,
+                   activity: dict[int, float] | None = None):
+        """Reduce per-path predictions to design-level values.
 
-        ``activity`` optionally maps register node ids to activity
-        coefficients (power gating, Section 3.4.4).
+        Shared verbatim by :meth:`predict` and the batched
+        :class:`repro.runtime.BatchPredictor`, so the two paths cannot
+        numerically drift apart.  Returns
+        ``(timing, area, power, spread, critical_path)``.
         """
-        if not self._fitted:
-            raise RuntimeError("SNS.fit() must run before predict()")
-        start = time.perf_counter()
-        graph = design.elaborate() if isinstance(design, Module) else design
-
-        paths = self.sampler.sample(graph)
-        preds = self.circuitformer.predict_paths([p.tokens for p in paths])
         reduction = reduce_paths(preds, paths)
         features = featurize_design(graph, preds, paths, self.vocab)
         # Ensemble in log space (the heads regress log residuals).  Median
@@ -186,23 +181,56 @@ class SNS:
         critical = None
         if len(paths) > 0:
             critical = paths[int(np.argmax(preds[:, 0]))]
+        return float(timing), float(area), float(power), spread, critical
+
+    def predict(self, design: CircuitGraph | Module,
+                activity: dict[int, float] | None = None,
+                bucketed: bool = True) -> SNSPrediction:
+        """Predict area, power, and timing of a design.
+
+        ``activity`` optionally maps register node ids to activity
+        coefficients (power gating, Section 3.4.4).  ``bucketed=False``
+        uses the pre-runtime pad-to-longest inference path (kept for
+        throughput baselining).
+        """
+        if not self._fitted:
+            raise RuntimeError("SNS.fit() must run before predict()")
+        start = time.perf_counter()
+        graph = design.elaborate() if isinstance(design, Module) else design
+
+        paths = self.sampler.sample(graph)
+        preds = self.circuitformer.predict_paths(
+            [p.tokens for p in paths], bucketed=bucketed)
+        timing, area, power, spread, critical = self._aggregate(
+            graph, paths, preds, activity)
 
         return SNSPrediction(
             design=graph.name,
-            timing_ps=float(timing),
-            area_um2=float(area),
-            power_mw=float(power),
+            timing_ps=timing,
+            area_um2=area,
+            power_mw=power,
             runtime_s=time.perf_counter() - start,
             num_paths=len(paths),
             critical_path=critical,
             spread=spread,
         )
 
-    def predict_many(self, designs, activity_maps=None) -> list[SNSPrediction]:
-        """Batch prediction over an iterable of designs."""
-        activity_maps = activity_maps or {}
-        out = []
-        for d in designs:
-            name = d.name if isinstance(d, CircuitGraph) else getattr(d, "design_name", None)
-            out.append(self.predict(d, activity=activity_maps.get(name)))
-        return out
+    def predict_many(self, designs, activity_maps=None, cache=None,
+                     batch_size: int = 32) -> list[SNSPrediction]:
+        """Batch prediction over an iterable of designs.
+
+        Routes through :class:`repro.runtime.BatchPredictor`: sampled
+        paths are deduplicated across the whole batch and predicted in
+        length-bucketed pooled forward passes, with results bit-identical
+        to calling :meth:`predict` per design.  ``activity_maps`` may be
+        a dict keyed by elaborated design name (``graph.name`` — resolved
+        consistently for both :class:`CircuitGraph` and :class:`Module`
+        inputs, warning on unmatched keys) or a sequence aligned with
+        ``designs``.  Pass a :class:`repro.runtime.PredictionCache` as
+        ``cache`` to reuse results across calls.
+        """
+        from ..runtime import BatchPredictor
+
+        engine = BatchPredictor(self, cache=cache, batch_size=batch_size,
+                                caching=cache is not None)
+        return engine.predict_batch(designs, activity_maps=activity_maps)

@@ -91,12 +91,24 @@ def build_design_dataset(entries: list[DesignEntry],
 
 def sample_path_dataset(records: list[DesignRecord],
                         sampler: PathSampler | None = None,
-                        synthesizer: Synthesizer | None = None) -> list[PathRecord]:
+                        synthesizer: Synthesizer | None = None,
+                        num_workers: int = 1) -> list[PathRecord]:
     """Sample complete circuit paths from designs and label each one.
 
     Duplicate token sequences across designs are collapsed — the Circuit
     Path Dataset keys on the path itself (Table 5).
+
+    ``num_workers`` fans the per-design sampling + labeling out over a
+    process pool (``repro.runtime.parallel``); the merged result is
+    bit-identical to the serial builder.  ``num_workers=None`` uses the
+    CPU count.
     """
+    if num_workers is None or num_workers != 1:
+        from ..runtime.parallel import parallel_sample_path_dataset
+
+        return parallel_sample_path_dataset(
+            records, sampler=sampler, synthesizer=synthesizer,
+            num_workers=num_workers)
     if sampler is None:
         from ..core.sampler import PathSampler
 

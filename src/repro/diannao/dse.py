@@ -80,26 +80,34 @@ class DianNaoDSE:
     def __init__(self, predictor: SNS | None = None,
                  synthesizer: Synthesizer | None = None,
                  perf_model: DianNaoPerfModel | None = None,
-                 use_power_gating: bool = True):
+                 use_power_gating: bool = True,
+                 cache=None, batch_size: int = 32):
         if (predictor is None) == (synthesizer is None):
             raise ValueError("provide exactly one of predictor / synthesizer")
         self.predictor = predictor
         self.synthesizer = synthesizer
         self.perf_model = perf_model or DianNaoPerfModel()
         self.use_power_gating = use_power_gating
+        if predictor is not None:
+            from ..runtime import BatchPredictor, PredictionCache
+
+            self._batch_engine = BatchPredictor(
+                predictor, cache=cache or PredictionCache(),
+                batch_size=batch_size)
+        else:
+            self._batch_engine = None
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, config: DianNaoConfig) -> DianNaoPoint:
+    def _prepare(self, config: DianNaoConfig):
+        """Elaborate one configuration and derive its activity map."""
         graph = DianNao(config).elaborate()
         report = self.perf_model.simulate(config)
         activity = self.perf_model.activity_coefficients(
             graph, report, gated=self.use_power_gating)
-        if self.predictor is not None:
-            pred = self.predictor.predict(graph, activity=activity)
-            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
-        else:
-            result = self.synthesizer.synthesize(graph, activity=activity)
-            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+        return graph, report, activity
+
+    def _make_point(self, config: DianNaoConfig, report, timing: float,
+                    area: float, power: float) -> DianNaoPoint:
         return DianNaoPoint(
             config=config,
             timing_ps=max(timing, 1.0),
@@ -109,14 +117,40 @@ class DianNaoDSE:
             accuracy=datatype_accuracy(config.datatype),
         )
 
+    def evaluate(self, config: DianNaoConfig) -> DianNaoPoint:
+        graph, report, activity = self._prepare(config)
+        if self._batch_engine is not None:
+            pred = self._batch_engine.predict_batch(
+                [graph], activity_maps=[activity])[0]
+            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
+        else:
+            result = self.synthesizer.synthesize(graph, activity=activity)
+            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+        return self._make_point(config, report, timing, area, power)
+
     def run(self, configs: list[DianNaoConfig], verbose: bool = False) -> DianNaoDSEResult:
+        """SNS-backed runs go through the batched runtime: the Table 13
+        space shares most of its multiplier/adder-tree paths across ``tn``
+        values, so cross-config dedup plus the prediction cache does the
+        heavy lifting."""
         if not configs:
             raise ValueError("no configurations to explore")
         start = time.perf_counter()
-        points = []
-        for i, config in enumerate(configs):
-            points.append(self.evaluate(config))
-            if verbose and (i + 1) % 50 == 0:
-                print(f"[diannao-dse] {i + 1}/{len(configs)} evaluated")
+        if self._batch_engine is not None:
+            prepared = [self._prepare(config) for config in configs]
+            if verbose:
+                print(f"[diannao-dse] batch-predicting {len(prepared)} configs")
+            preds = self._batch_engine.predict_batch(
+                [graph for graph, _, _ in prepared],
+                activity_maps=[activity for _, _, activity in prepared])
+            points = [
+                self._make_point(config, report, p.timing_ps, p.area_um2, p.power_mw)
+                for (config, (_, report, _)), p in zip(zip(configs, prepared), preds)]
+        else:
+            points = []
+            for i, config in enumerate(configs):
+                points.append(self.evaluate(config))
+                if verbose and (i + 1) % 50 == 0:
+                    print(f"[diannao-dse] {i + 1}/{len(configs)} evaluated")
         return DianNaoDSEResult(points=tuple(points),
                                 runtime_s=time.perf_counter() - start)

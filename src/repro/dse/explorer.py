@@ -83,27 +83,35 @@ class DesignSpaceExplorer:
     score:
         Optional callable ``(params, timing_ps, area_um2, power_mw) ->
         float``; defaults to predicted clock frequency.
+    cache:
+        Optional :class:`repro.runtime.PredictionCache` shared across
+        ``explore`` calls (SNS engines only).  When omitted, an
+        in-memory cache is created per explorer, so re-exploring an
+        overlapping grid is near-free.
     """
 
     def __init__(self, factory: Callable[..., Module], engine,
-                 score: Callable | None = None):
+                 score: Callable | None = None, cache=None,
+                 batch_size: int = 32):
         if not isinstance(engine, (SNS, Synthesizer)):
             raise TypeError(
                 f"engine must be SNS or Synthesizer, got {type(engine).__name__}")
         self.factory = factory
         self.engine = engine
         self.score = score
+        self.batch_size = batch_size
+        if isinstance(engine, SNS):
+            from ..runtime import BatchPredictor, PredictionCache
+
+            self._batch_engine = BatchPredictor(
+                engine, cache=cache or PredictionCache(),
+                batch_size=batch_size)
+        else:
+            self._batch_engine = None
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, params: dict[str, Any]) -> EvaluatedDesign:
-        module = self.factory(**params)
-        graph = module.elaborate()
-        if isinstance(self.engine, SNS):
-            pred = self.engine.predict(graph)
-            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
-        else:
-            result = self.engine.synthesize(graph)
-            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+    def _score_point(self, params: dict[str, Any], timing: float,
+                     area: float, power: float) -> EvaluatedDesign:
         timing = max(timing, 1e-9)
         if self.score is not None:
             score = float(self.score(params, timing, area, power))
@@ -112,10 +120,27 @@ class DesignSpaceExplorer:
         return EvaluatedDesign(params=dict(params), timing_ps=timing,
                                area_um2=area, power_mw=power, score=score)
 
+    def evaluate(self, params: dict[str, Any]) -> EvaluatedDesign:
+        module = self.factory(**params)
+        graph = module.elaborate()
+        if self._batch_engine is not None:
+            pred = self._batch_engine.predict_batch([graph])[0]
+            timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
+        else:
+            result = self.engine.synthesize(graph)
+            timing, area, power = result.timing_ps, result.area_um2, result.power_mw
+        return self._score_point(params, timing, area, power)
+
     def explore(self, grid: ParameterGrid | list[dict],
                 constraint: Callable[[dict], bool] | None = None,
                 stride: int = 1, verbose: bool = False) -> ExplorationResult:
-        """Evaluate every (filtered, strided) point of the grid."""
+        """Evaluate every (filtered, strided) point of the grid.
+
+        With an SNS engine, all points are evaluated through the batched
+        runtime (:class:`repro.runtime.BatchPredictor`): one pooled,
+        deduplicated, length-bucketed inference pass instead of one
+        model invocation per point.
+        """
         if isinstance(grid, ParameterGrid):
             points = grid.subset(constraint=constraint, stride=stride)
         else:
@@ -123,10 +148,19 @@ class DesignSpaceExplorer:
         if not points:
             raise ValueError("nothing to explore after filtering")
         start = time.perf_counter()
-        evaluated = []
-        for i, params in enumerate(points):
-            evaluated.append(self.evaluate(params))
-            if verbose and (i + 1) % 50 == 0:
-                print(f"[dse] {i + 1}/{len(points)} evaluated")
+        if self._batch_engine is not None:
+            graphs = [self.factory(**params).elaborate() for params in points]
+            if verbose:
+                print(f"[dse] batch-predicting {len(graphs)} designs")
+            preds = self._batch_engine.predict_batch(graphs)
+            evaluated = [
+                self._score_point(params, p.timing_ps, p.area_um2, p.power_mw)
+                for params, p in zip(points, preds)]
+        else:
+            evaluated = []
+            for i, params in enumerate(points):
+                evaluated.append(self.evaluate(params))
+                if verbose and (i + 1) % 50 == 0:
+                    print(f"[dse] {i + 1}/{len(points)} evaluated")
         return ExplorationResult(points=tuple(evaluated),
                                  runtime_s=time.perf_counter() - start)

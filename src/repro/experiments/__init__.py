@@ -18,7 +18,14 @@ from .accuracy import (
     scarce_data_run,
     dsage_timing_comparison,
 )
-from .runtime import RuntimeRow, RuntimeReport, runtime_comparison, PLATFORMS
+from .runtime import (
+    RuntimeRow,
+    RuntimeReport,
+    runtime_comparison,
+    PLATFORMS,
+    ThroughputReport,
+    throughput_comparison,
+)
 from .boom_study import BoomStudyReport, run_boom_study, strided_subspace
 from .diannao_study import (
     Table12Report,
@@ -35,6 +42,7 @@ __all__ = [
     "evaluate_split", "two_fold_cross_validation", "scarce_data_run",
     "dsage_timing_comparison",
     "RuntimeRow", "RuntimeReport", "runtime_comparison", "PLATFORMS",
+    "ThroughputReport", "throughput_comparison",
     "BoomStudyReport", "run_boom_study", "strided_subspace",
     "Table12Report", "table12_prediction", "run_tn_sweep", "run_datatype_sweep",
     "DIANNAO_65NM",

@@ -18,7 +18,8 @@ from ..core import SNS
 from ..datagen import DesignRecord
 from ..synth import Synthesizer
 
-__all__ = ["RuntimeRow", "RuntimeReport", "runtime_comparison", "PLATFORMS"]
+__all__ = ["RuntimeRow", "RuntimeReport", "runtime_comparison", "PLATFORMS",
+           "ThroughputReport", "throughput_comparison"]
 
 # Table 9 of the paper, for reporting.
 PLATFORMS = {
@@ -86,3 +87,131 @@ def runtime_comparison(sns: SNS, records: list[DesignRecord],
             synth_seconds=synth_seconds,
         ))
     return RuntimeReport(rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------- #
+# Batched-runtime throughput (the repro.runtime engine vs the serial path)
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Designs/sec of the batched runtime against the serial baselines.
+
+    ``serial_unbucketed_seconds`` is the pre-runtime seed path (one
+    design at a time, every sequence padded to the design's longest);
+    ``serial_bucketed_seconds`` is the same loop on the length-bucketed
+    kernel; ``batched_cold_seconds``/``batched_warm_seconds`` are the
+    :class:`repro.runtime.BatchPredictor` with a cold and a warm
+    prediction cache.  ``bit_identical`` records whether the engine's
+    predictions matched the serial bucketed path exactly.
+    """
+
+    num_designs: int
+    serial_unbucketed_seconds: float
+    serial_bucketed_seconds: float
+    batched_cold_seconds: float
+    batched_warm_seconds: float
+    cache_stats: dict
+    bit_identical: bool
+
+    def designs_per_second(self, seconds: float) -> float:
+        return self.num_designs / seconds if seconds > 0 else float("inf")
+
+    @property
+    def serial_dps(self) -> float:
+        return self.designs_per_second(self.serial_unbucketed_seconds)
+
+    @property
+    def batched_speedup(self) -> float:
+        """Cold-cache engine vs the serial seed path."""
+        return self.serial_unbucketed_seconds / self.batched_cold_seconds \
+            if self.batched_cold_seconds > 0 else float("inf")
+
+    @property
+    def bucketing_speedup(self) -> float:
+        """Serial bucketed kernel vs serial unbucketed (padding waste)."""
+        return self.serial_unbucketed_seconds / self.serial_bucketed_seconds \
+            if self.serial_bucketed_seconds > 0 else float("inf")
+
+    @property
+    def warm_speedup(self) -> float:
+        """Warm-cache engine vs the serial seed path."""
+        return self.serial_unbucketed_seconds / self.batched_warm_seconds \
+            if self.batched_warm_seconds > 0 else float("inf")
+
+    def as_dict(self) -> dict:
+        return {
+            "num_designs": self.num_designs,
+            "serial_unbucketed_seconds": self.serial_unbucketed_seconds,
+            "serial_bucketed_seconds": self.serial_bucketed_seconds,
+            "batched_cold_seconds": self.batched_cold_seconds,
+            "batched_warm_seconds": self.batched_warm_seconds,
+            "designs_per_second": {
+                "serial_unbucketed": self.designs_per_second(
+                    self.serial_unbucketed_seconds),
+                "serial_bucketed": self.designs_per_second(
+                    self.serial_bucketed_seconds),
+                "batched_cold": self.designs_per_second(self.batched_cold_seconds),
+                "batched_warm": self.designs_per_second(self.batched_warm_seconds),
+            },
+            "batched_speedup": self.batched_speedup,
+            "bucketing_speedup": self.bucketing_speedup,
+            "warm_speedup": self.warm_speedup,
+            "cache_stats": self.cache_stats,
+            "bit_identical": self.bit_identical,
+        }
+
+
+def throughput_comparison(sns: SNS, graphs, batch_size: int = 32,
+                          cache=None) -> ThroughputReport:
+    """Measure the batched runtime against the serial prediction paths.
+
+    ``graphs`` is a list of :class:`CircuitGraph` (or
+    :class:`DesignRecord`, whose graphs are extracted).  Four
+    measurements run over the same designs: the serial seed path
+    (pad-to-longest, one design per forward pool), the serial bucketed
+    kernel, the batched engine with a cold cache, and the batched engine
+    again with the cache warm.
+    """
+    from ..runtime import BatchPredictor, PredictionCache
+
+    graphs = [g.graph if isinstance(g, DesignRecord) else g for g in graphs]
+    if not graphs:
+        raise ValueError("no designs to measure")
+
+    start = time.perf_counter()
+    serial_unbucketed = [sns.predict(g, bucketed=False) for g in graphs]
+    serial_unbucketed_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    serial_bucketed = [sns.predict(g) for g in graphs]
+    serial_bucketed_s = time.perf_counter() - start
+    del serial_unbucketed
+
+    engine = BatchPredictor(sns, cache=cache or PredictionCache(),
+                            batch_size=batch_size)
+    start = time.perf_counter()
+    batched = engine.predict_batch(graphs)
+    batched_cold_s = time.perf_counter() - start
+
+    # Warm pass is pure fingerprint+lookup and takes tens of ms, so a
+    # single OS scheduling hiccup can dominate it — report the best of 2.
+    batched_warm_s = float("inf")
+    for _ in range(2):
+        start = time.perf_counter()
+        engine.predict_batch(graphs)
+        batched_warm_s = min(batched_warm_s, time.perf_counter() - start)
+
+    bit_identical = all(
+        s.timing_ps == b.timing_ps and s.area_um2 == b.area_um2
+        and s.power_mw == b.power_mw and s.num_paths == b.num_paths
+        for s, b in zip(serial_bucketed, batched))
+
+    return ThroughputReport(
+        num_designs=len(graphs),
+        serial_unbucketed_seconds=serial_unbucketed_s,
+        serial_bucketed_seconds=serial_bucketed_s,
+        batched_cold_seconds=batched_cold_s,
+        batched_warm_seconds=batched_warm_s,
+        cache_stats=engine.cache.stats.as_dict(),
+        bit_identical=bit_identical,
+    )

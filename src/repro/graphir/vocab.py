@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = [
     "LOGIC_TYPES",
     "ARITH_TYPES",
@@ -119,10 +121,30 @@ class Vocabulary:
         """Number of circuit tokens (79 for the standard vocabulary)."""
         return len(self.tokens)
 
+    @property
+    def _lookup(self) -> dict[str, int]:
+        """Token -> id hash map, built once per instance."""
+        table = self.__dict__.get("_lookup_table")
+        if table is None:
+            table = {t: i + self.NUM_SPECIAL for i, t in enumerate(self.tokens)}
+            object.__setattr__(self, "_lookup_table", table)
+        return table
+
+    @property
+    def _sorted_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted token array, ids in that order) for vectorized lookup."""
+        cached = self.__dict__.get("_sorted_cache")
+        if cached is None:
+            arr = np.asarray(self.tokens)
+            order = np.argsort(arr)
+            cached = (arr[order], order.astype(np.int64) + self.NUM_SPECIAL)
+            object.__setattr__(self, "_sorted_cache", cached)
+        return cached
+
     def id_of(self, token: str) -> int:
         try:
-            return self.tokens.index(token) + self.NUM_SPECIAL
-        except ValueError:
+            return self._lookup[token]
+        except KeyError:
             raise KeyError(f"token not in vocabulary: {token!r}") from None
 
     def token_of(self, token_id: int) -> str:
@@ -136,7 +158,31 @@ class Vocabulary:
         return self.tokens[index]
 
     def encode(self, tokens: list[str]) -> list[int]:
-        return [self.id_of(t) for t in tokens]
+        lookup = self._lookup
+        try:
+            return [lookup[t] for t in tokens]
+        except KeyError as exc:
+            raise KeyError(f"token not in vocabulary: {exc.args[0]!r}") from None
+
+    def encode_array(self, tokens) -> np.ndarray:
+        """Vectorized :meth:`encode` over a flat token sequence.
+
+        Uses binary search into the sorted token table, so a batch of
+        thousands of tokens is one :func:`numpy.searchsorted` call instead
+        of a Python loop.  Returns an int64 id array; raises ``KeyError``
+        on the first unknown token, like :meth:`encode`.
+        """
+        arr = np.asarray(tokens)
+        if arr.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        sorted_tokens, sorted_ids = self._sorted_arrays
+        pos = np.searchsorted(sorted_tokens, arr)
+        pos_clipped = np.minimum(pos, len(sorted_tokens) - 1)
+        hit = sorted_tokens[pos_clipped] == arr
+        if not hit.all():
+            bad = str(arr[~hit][0])
+            raise KeyError(f"token not in vocabulary: {bad!r}")
+        return sorted_ids[pos_clipped]
 
     def decode(self, ids: list[int]) -> list[str]:
         return [self.token_of(i) for i in ids]

@@ -14,11 +14,37 @@ from .tensor import Tensor
 __all__ = ["Parameter", "Module"]
 
 
+# The slot descriptor for Tensor.data — Parameter shadows the slot with a
+# property below, so the raw storage must be reached through the descriptor.
+_TENSOR_DATA = Tensor.__dict__["data"]
+
+
 class Parameter(Tensor):
-    """A trainable tensor; always created with ``requires_grad=True``."""
+    """A trainable tensor; always created with ``requires_grad=True``.
+
+    Every assignment to :attr:`data` — including augmented assignments
+    like the optimizer's ``p.data -= lr * v``, which re-assign after the
+    in-place op — increments :attr:`version`.  Consumers such as the
+    prediction cache's model fingerprint use the counter to detect weight
+    changes without re-hashing unchanged weights.  Direct element writes
+    that never re-assign (``p.data[0] = x``) bypass the counter; mutate
+    through assignment instead.
+    """
+
+    __slots__ = ("version",)
 
     def __init__(self, data):
-        super().__init__(data, requires_grad=True)
+        self.version = -1
+        super().__init__(data, requires_grad=True)  # assigns .data -> 0
+
+    @property
+    def data(self):
+        return _TENSOR_DATA.__get__(self, Parameter)
+
+    @data.setter
+    def data(self, value):
+        _TENSOR_DATA.__set__(self, value)
+        self.version += 1
 
 
 class Module:

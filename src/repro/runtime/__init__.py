@@ -1,0 +1,31 @@
+"""``repro.runtime`` — the throughput-oriented inference runtime.
+
+Layers a batched, cached serving engine over the core SNS predictor:
+
+- :class:`BatchPredictor` — cross-design path dedup + length-bucketed
+  pooled forward passes, bit-identical to serial ``SNS.predict``.
+- :class:`PredictionCache` — content-addressed (graph, weights, sampler,
+  activity) cache with an in-memory LRU tier and an optional disk tier.
+- :func:`parallel_sample_path_dataset` — process-pool label generation
+  for the Circuit Path Dataset.
+- Fingerprint helpers for cache keying and invalidation.
+"""
+
+from .cache import CacheStats, PredictionCache
+from .engine import BatchPredictor, resolve_activity_maps
+from .fingerprint import (
+    cache_key,
+    fingerprint_activity,
+    fingerprint_graph,
+    fingerprint_model,
+    fingerprint_sampler,
+)
+from .parallel import derive_design_seed, parallel_sample_path_dataset
+
+__all__ = [
+    "BatchPredictor", "resolve_activity_maps",
+    "PredictionCache", "CacheStats",
+    "cache_key", "fingerprint_activity", "fingerprint_graph",
+    "fingerprint_model", "fingerprint_sampler",
+    "derive_design_seed", "parallel_sample_path_dataset",
+]

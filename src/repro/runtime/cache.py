@@ -1,0 +1,129 @@
+"""The content-addressed prediction cache (memory LRU + optional disk).
+
+Values are plain JSON-serializable dicts (see
+:meth:`repro.runtime.engine.BatchPredictor` for the schema), so the disk
+tier is just one small JSON file per key under ``disk_dir``.  The
+in-memory tier is an LRU bounded by ``max_entries``; the disk tier is
+unbounded and survives across processes, which is what makes repeated
+DSE sweeps of overlapping configuration spaces near-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CacheStats", "PredictionCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (memory and disk tiers counted separately)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "hit_rate": self.hit_rate}
+
+
+class PredictionCache:
+    """Two-tier (memory LRU, optional disk) store for cached predictions.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity; the least-recently-used entry is evicted
+        once exceeded.
+    disk_dir:
+        Optional directory for the persistent tier.  Created on first
+        write; a disk hit is promoted back into the memory tier.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 disk_dir: str | Path | None = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        self.max_entries = max_entries
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> Path:
+        # Two-level fanout keeps directories small for big sweeps.
+        return self.disk_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Look up ``key``; returns the cached dict or ``None`` on miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.memory_hits += 1
+                return self._entries[key]
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            try:
+                value = json.loads(path.read_text())
+            except (OSError, ValueError):
+                value = None
+            if value is not None:
+                with self._lock:
+                    self.stats.disk_hits += 1
+                    self._insert(key, value)
+                return value
+        with self._lock:
+            self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: dict) -> None:
+        """Store ``value`` in the memory tier (and disk tier if enabled)."""
+        with self._lock:
+            self._insert(key, value)
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(json.dumps(value))
+            tmp.replace(path)  # atomic publish; readers never see partial JSON
+
+    def _insert(self, key: str, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._entries:
+            return True
+        return (self.disk_dir is not None and self._disk_path(key).is_file())
+
+    def clear(self, memory_only: bool = True) -> None:
+        """Drop the memory tier (and the disk tier if requested)."""
+        with self._lock:
+            self._entries.clear()
+        if not memory_only and self.disk_dir is not None and self.disk_dir.is_dir():
+            for path in self.disk_dir.glob("*/*.json"):
+                path.unlink(missing_ok=True)

@@ -1,0 +1,195 @@
+"""The batched, cached inference engine over a trained SNS predictor.
+
+``BatchPredictor.predict_batch`` is the throughput path the paper's
+headline numbers (Figure 7) and every DSE driver depend on.  It differs
+from looping ``SNS.predict`` in three ways:
+
+1. **Global path dedup** — sampled paths are deduplicated *across* the
+   whole batch, so the hundreds of identical paths that sibling DSE
+   configurations share are predicted once and broadcast.
+2. **Length-bucketed forward passes** — unique sequences from every
+   design are pooled and run through
+   :meth:`~repro.core.circuitformer.Circuitformer.predict_unique`, whose
+   bucket-padded batches avoid padding a 4-token path to the longest
+   path in the pool.  The kernel is batch-composition invariant, so the
+   engine's predictions are bit-identical to serial ``SNS.predict``.
+3. **Content-addressed caching** — each (graph, model weights, sampler
+   config, activity map) tuple is fingerprinted; repeat evaluations skip
+   sampling and inference entirely, and any weight or config change
+   invalidates automatically.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+
+from ..core.predictor import SNS, SNSPrediction
+from ..core.sampler import SampledPath
+from ..hdl import Module
+from .cache import PredictionCache
+from .fingerprint import (cache_key, fingerprint_activity, fingerprint_graph,
+                          fingerprint_model, fingerprint_sampler)
+
+__all__ = ["BatchPredictor", "resolve_activity_maps"]
+
+
+def resolve_activity_maps(graphs, activity_maps) -> list[dict | None]:
+    """Match activity maps to designs by elaborated graph name.
+
+    ``activity_maps`` may be a dict keyed by design name or a sequence
+    aligned with ``graphs`` (one entry per design, ``None`` allowed).
+    Dict keys that match no design raise a ``UserWarning`` instead of
+    being silently dropped.
+    """
+    if not activity_maps:
+        return [None] * len(graphs)
+    if isinstance(activity_maps, (list, tuple)):
+        if len(activity_maps) != len(graphs):
+            raise ValueError(
+                f"got {len(activity_maps)} activity maps for {len(graphs)} designs")
+        return list(activity_maps)
+    names = [g.name for g in graphs]
+    unmatched = set(activity_maps) - set(names)
+    if unmatched:
+        warnings.warn(
+            "activity maps matched no design and were ignored: "
+            f"{sorted(unmatched)}", UserWarning, stacklevel=3)
+    return [activity_maps.get(name) for name in names]
+
+
+def _entry_from_parts(timing: float, area: float, power: float,
+                      num_paths: int, spread: dict | None,
+                      critical: SampledPath | None) -> dict:
+    """Serialize one prediction into the cache's JSON-friendly schema."""
+    return {
+        "timing_ps": timing,
+        "area_um2": area,
+        "power_mw": power,
+        "num_paths": num_paths,
+        "spread": spread,
+        "critical": None if critical is None else {
+            "node_ids": list(critical.node_ids),
+            "tokens": list(critical.tokens),
+        },
+    }
+
+
+def _prediction_from_entry(entry: dict, design_name: str,
+                           runtime_s: float) -> SNSPrediction:
+    critical = entry.get("critical")
+    return SNSPrediction(
+        design=design_name,
+        timing_ps=float(entry["timing_ps"]),
+        area_um2=float(entry["area_um2"]),
+        power_mw=float(entry["power_mw"]),
+        runtime_s=runtime_s,
+        num_paths=int(entry["num_paths"]),
+        critical_path=None if critical is None else SampledPath(
+            node_ids=tuple(critical["node_ids"]),
+            tokens=tuple(critical["tokens"])),
+        spread=None if entry.get("spread") is None
+        else {k: float(v) for k, v in entry["spread"].items()},
+    )
+
+
+class BatchPredictor:
+    """Throughput-oriented batch inference over a trained :class:`SNS`.
+
+    Parameters
+    ----------
+    sns:
+        A fitted predictor; the engine never mutates it.
+    cache:
+        A :class:`PredictionCache` (defaults to a fresh in-memory LRU).
+        Pass ``cache=None`` explicitly via ``caching=False`` to disable.
+    batch_size:
+        Forward-pass chunk size handed to ``predict_unique``.  The
+        default 32 keeps each flattened GEMM inside the CPU cache; on a
+        pooled bucket it measures ~25% faster than 128-row chunks, and
+        the kernel's output is chunk-size independent.
+    caching:
+        Set False to skip fingerprinting and cache lookups entirely.
+    """
+
+    def __init__(self, sns: SNS, cache: PredictionCache | None = None,
+                 batch_size: int = 32, caching: bool = True):
+        self.sns = sns
+        self.caching = caching
+        self.cache = (cache if cache is not None else PredictionCache()) \
+            if caching else None
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------ #
+    def predict_batch(self, designs, activity_maps=None) -> list[SNSPrediction]:
+        """Predict a batch of designs; results align with the input order.
+
+        Per-design ``runtime_s`` is the batch wall-clock divided evenly
+        across the batch — the quantity that matters for throughput
+        accounting (designs/sec), since the whole point of batching is
+        that per-design cost is amortized.
+        """
+        designs = list(designs)
+        if not designs:
+            return []
+        if not self.sns._fitted:
+            raise RuntimeError("SNS.fit() must run before batch prediction")
+        start = time.perf_counter()
+
+        graphs = [d.elaborate() if isinstance(d, Module) else d for d in designs]
+        activities = resolve_activity_maps(graphs, activity_maps)
+
+        results: list[SNSPrediction | None] = [None] * len(graphs)
+        keys: list[str | None] = [None] * len(graphs)
+        pending: dict[str | int, list[int]] = {}
+        if self.caching:
+            model_fp = fingerprint_model(self.sns)
+            sampler_fp = fingerprint_sampler(self.sns.sampler)
+            for i, (graph, activity) in enumerate(zip(graphs, activities)):
+                keys[i] = cache_key(fingerprint_graph(graph), model_fp,
+                                    sampler_fp, fingerprint_activity(activity))
+                entry = self.cache.get(keys[i])
+                if entry is not None:
+                    results[i] = entry
+                else:
+                    # Identical (graph, activity) pairs inside one batch
+                    # collapse onto one computation.
+                    pending.setdefault(keys[i], []).append(i)
+        else:
+            for i in range(len(graphs)):
+                pending[i] = [i]
+
+        # ---- sample the misses, dedup sequences across the whole batch
+        group_paths: dict[str | int, list[SampledPath]] = {}
+        unique: dict[tuple[str, ...], int] = {}
+        group_index: dict[str | int, list[int]] = {}
+        for key, members in pending.items():
+            paths = self.sns.sampler.sample(graphs[members[0]])
+            group_paths[key] = paths
+            group_index[key] = [
+                unique.setdefault(p.tokens, len(unique)) for p in paths]
+
+        # ---- one pooled, bucketed inference pass over unique sequences
+        physical = (self.sns.circuitformer.predict_unique(
+            list(unique), batch_size=self.batch_size)
+            if unique else np.zeros((0, 3)))
+
+        # ---- aggregate per pending group, fill every member
+        for key, members in pending.items():
+            first = members[0]
+            paths = group_paths[key]
+            preds = physical[group_index[key]]
+            timing, area, power, spread, critical = self.sns._aggregate(
+                graphs[first], paths, preds, activities[first])
+            entry = _entry_from_parts(timing, area, power, len(paths),
+                                      spread, critical)
+            if self.caching:
+                self.cache.put(key, entry)
+            for i in members:
+                results[i] = entry
+
+        per_design = (time.perf_counter() - start) / len(graphs)
+        return [_prediction_from_entry(entry, graphs[i].name, per_design)
+                for i, entry in enumerate(results)]

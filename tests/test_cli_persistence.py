@@ -94,6 +94,27 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "critical path:" in out
 
+    def test_predict_many_files_with_cache_dir(self, tiny_sns, tmp_path, capsys):
+        sns, _ = tiny_sns
+        model = tmp_path / "model.npz"
+        save_sns(sns, model)
+        designs = []
+        for i in range(2):
+            design = tmp_path / f"mac{i}.v"
+            design.write_text(MAC_V)
+            designs.append(str(design))
+        cache_dir = tmp_path / "cache"
+        assert main(["predict", str(model), *designs,
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("timing:") == 2
+        assert "misses" in out
+        # Second invocation builds a fresh process-level cache but hits disk.
+        assert main(["predict", str(model), *designs,
+                     "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 disk hits" in out  # identical files share one entry
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

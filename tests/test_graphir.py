@@ -113,6 +113,24 @@ class TestVocabulary:
         with pytest.raises(ValueError):
             parse_token("banana42")
 
+    def test_encode_array_matches_encode(self):
+        vocab = Vocabulary.standard()
+        tokens = list(vocab.tokens) + ["io8", "mul16", "dff4", "reduce_xor64"]
+        np.testing.assert_array_equal(vocab.encode_array(tokens),
+                                      np.asarray(vocab.encode(tokens)))
+
+    def test_encode_array_empty(self):
+        vocab = Vocabulary.standard()
+        out = vocab.encode_array([])
+        assert out.shape == (0,) and out.dtype == np.int64
+
+    def test_encode_array_unknown_token_raises(self):
+        vocab = Vocabulary.standard()
+        with pytest.raises(KeyError, match="zzz9"):
+            vocab.encode_array(["io8", "zzz9", "mul16"])
+        with pytest.raises(KeyError, match="mul7"):
+            vocab.encode(["mul7"])
+
 
 def make_mac_graph() -> CircuitGraph:
     """The Figure 2 example: 8-bit multiply-add with output register."""

@@ -277,6 +277,31 @@ class TestModuleContainer:
         model.train()
         assert model.steps[0].training
 
+    def test_parameter_version_counts_assignments(self):
+        p = nn.Parameter(np.ones(4))
+        assert p.version == 0
+        p.data = np.zeros(4)
+        assert p.version == 1
+        p.data -= 0.5  # augmented assignment re-assigns -> bumps too
+        assert p.version == 2
+        _ = p.data.sum()  # reads do not bump
+        assert p.version == 2
+
+    def test_parameter_version_bumps_on_optimizer_step(self):
+        w = nn.Parameter(np.array([5.0, -3.0]))
+        before = w.version
+        loss = (Tensor(np.array([1.0, 1.0])) * w).sum()
+        loss.backward()
+        nn.SGD([w], lr=0.1).step()
+        assert w.version == before + 1
+
+    def test_parameter_version_bumps_on_state_dict_load(self):
+        m1, m2 = nn.Linear(2, 2), nn.Linear(2, 2)
+        versions = [p.version for p in m2.parameters()]
+        m2.load_state_dict(m1.state_dict())
+        assert all(p.version == v + 1
+                   for p, v in zip(m2.parameters(), versions))
+
     def test_stack_concat(self):
         a = Tensor(np.ones((2, 3)), requires_grad=True)
         b = Tensor(np.zeros((2, 3)), requires_grad=True)
