@@ -48,17 +48,26 @@ def _cmd_synth(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from dataclasses import replace
+
     from .core.persistence import save_sns
     from .datagen import train_test_split_by_family
     from .experiments import FAST, FULL, build_dataset, fit_sns
 
     settings = FULL if args.preset == "full" else FAST
+    if args.buckets:
+        settings = replace(settings,
+                           training=replace(settings.training, bucketed=True))
     print(f"building the design dataset ({settings.name} preset)...")
     records = build_dataset(settings)
     train, test = train_test_split_by_family(records, args.train_fraction,
                                              seed=args.seed)
-    print(f"training SNS on {len(train)} designs...")
+    print(f"training SNS on {len(train)} designs"
+          + (" (length-bucketed batches)" if args.buckets else "") + "...")
     sns = fit_sns(train, settings)
+    if args.profile:
+        for profile in sns.training_profiles.values():
+            print(profile.format())
     save_sns(sns, args.output)
     print(f"saved model to {args.output} ({len(test)} designs held out)")
     return 0
@@ -148,6 +157,10 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--preset", default="fast", choices=("fast", "full"))
     p_train.add_argument("--train-fraction", type=float, default=0.5)
     p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--buckets", action="store_true",
+                         help="train with length-bucketed minibatches")
+    p_train.add_argument("--profile", action="store_true",
+                         help="print per-phase training timing/allocation profiles")
     p_train.set_defaults(fn=_cmd_train)
 
     p_pred = sub.add_parser("predict", help="predict with a trained model")

@@ -170,7 +170,7 @@ class Circuitformer(nn.Module):
         return out
 
     def predict_unique(self, unique_seqs: list[tuple[str, ...]],
-                       batch_size: int = 128) -> np.ndarray:
+                       batch_size: int = 128, encoding_cache=None) -> np.ndarray:
         """Physical [timing_ps, area_um2, power_mw] per *unique* sequence.
 
         This is the canonical inference kernel shared by
@@ -185,6 +185,11 @@ class Circuitformer(nn.Module):
         one-row matmuls to a differently-rounded GEMV kernel), and the
         regression head always runs on a fixed row count
         (:meth:`_head_rows_fixed`).
+
+        ``encoding_cache`` optionally supplies a
+        :class:`repro.runtime.trainer.EncodingCache` so repeated bucket
+        chunks (across calls, or shared with the training engine) skip
+        re-encoding; the encoded arrays are identical either way.
         """
         if not unique_seqs:
             return np.zeros((0, 3))
@@ -204,7 +209,10 @@ class Circuitformer(nn.Module):
                     single = len(chunk) == 1
                     if single:
                         chunk = chunk * 2
-                    ids, mask = encode_batch(chunk, self.vocab, bucket)
+                    if encoding_cache is not None:
+                        ids, mask = encoding_cache.encode(chunk, self.vocab, bucket)
+                    else:
+                        ids, mask = encode_batch(chunk, self.vocab, bucket)
                     cls_emb = self._encode_cls(ids, mask)
                     if single:
                         cls_emb = cls_emb[:1]
@@ -213,7 +221,8 @@ class Circuitformer(nn.Module):
 
     # ------------------------------------------------------------------ #
     def predict_paths(self, token_seqs: list[tuple[str, ...]],
-                      batch_size: int = 128, bucketed: bool = True) -> np.ndarray:
+                      batch_size: int = 128, bucketed: bool = True,
+                      encoding_cache=None) -> np.ndarray:
         """Inference: physical [timing_ps, area_um2, power_mw] per path.
 
         Sampled designs repeat token sequences heavily (a systolic array
@@ -235,7 +244,8 @@ class Circuitformer(nn.Module):
         unique_seqs = list(unique)
 
         if bucketed:
-            return self.predict_unique(unique_seqs, batch_size=batch_size)[index]
+            return self.predict_unique(unique_seqs, batch_size=batch_size,
+                                       encoding_cache=encoding_cache)[index]
 
         self.eval()
         outs = []

@@ -98,6 +98,7 @@ class SNS:
         self.training_config = training_config or TrainingConfig(seed=seed)
         self.circuitformer_history = []
         self.aggregator_curve = []
+        self.training_profiles: dict[str, object] = {}
         self._fitted = False
 
     @property
@@ -121,7 +122,18 @@ class SNS:
         ``augmentation=None`` disables synthetic path generation;
         ``path_records`` lets callers supply a pre-built Circuit Path
         Dataset (skipping sampling + labeling).
+
+        Both models train through one shared
+        :class:`repro.runtime.trainer.TrainingEngine` built from
+        ``training_config``: bucket encodings persist across epochs, the
+        design features feeding the aggregator ensemble are computed
+        once (``PathSampler.sample`` reseeds per call, so sharing is
+        bit-identical to recomputing them per member), and the per-phase
+        profiles land in :attr:`training_profiles` under
+        ``"circuitformer"`` and ``"aggregator"``.
         """
+        from ..runtime.trainer import EncodingCache, TrainingEngine
+
         synthesizer = synthesizer or Synthesizer(effort="medium")
         if path_records is None:
             path_records = sample_path_dataset(
@@ -132,16 +144,23 @@ class SNS:
                     synthesizer=synthesizer, vocab=self.vocab)
         if verbose:
             print(f"[sns] circuit path dataset: {len(path_records)} paths")
+        engine = TrainingEngine.from_config(self.training_config,
+                                            encoding_cache=EncodingCache())
         self.circuitformer_history = train_circuitformer(
-            self.circuitformer, path_records, self.training_config, verbose=verbose)
+            self.circuitformer, path_records, self.training_config,
+            verbose=verbose, engine=engine)
+        features = engine.prepare_design_features(
+            train_designs, self.circuitformer, self.sampler)
         for i, aggregator in enumerate(self.aggregators):
             member_config = replace(self.training_config,
                                     seed=self.training_config.seed + i)
             curve = train_aggregator(
                 aggregator, train_designs, self.circuitformer, self.sampler,
-                member_config, verbose=verbose and i == 0)
+                member_config, verbose=verbose and i == 0, engine=engine,
+                features=features)
             if i == 0:
                 self.aggregator_curve = curve
+        self.training_profiles = dict(engine.profiles)
         self._fitted = True
         return self
 

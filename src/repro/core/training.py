@@ -11,11 +11,21 @@ Two models train here:
 The paper's epoch counts assume GPU training; defaults here are scaled to
 CPU-tractable values and every count is configurable (the Table 6 bench
 prints both).
+
+The public :func:`train_circuitformer` / :func:`train_aggregator` route
+through :class:`repro.runtime.trainer.TrainingEngine` (fused in-place
+optimizer steps, graph-freeing backward, epoch-persistent encodings, and
+— when ``TrainingConfig.bucketed`` is set — length-bucketed
+minibatching).  The original allocate-per-step loops are kept verbatim
+as :func:`train_circuitformer_reference` /
+:func:`train_aggregator_reference`: they are the bit-parity oracle for
+the engine's compatibility mode and the baseline for the training
+throughput benchmark.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,7 +36,8 @@ from .circuitformer import Circuitformer, TargetScaler, encode_batch
 from .sampler import PathSampler
 
 __all__ = ["PAPER_HYPERPARAMS", "TrainingConfig", "EpochStats",
-           "train_circuitformer", "train_aggregator"]
+           "train_circuitformer", "train_aggregator",
+           "train_circuitformer_reference", "train_aggregator_reference"]
 
 # Table 6 of the paper, verbatim.
 PAPER_HYPERPARAMS = {
@@ -38,7 +49,15 @@ PAPER_HYPERPARAMS = {
 
 @dataclass
 class TrainingConfig:
-    """CPU-scaled training schedule (paper values in PAPER_HYPERPARAMS)."""
+    """CPU-scaled training schedule (paper values in PAPER_HYPERPARAMS).
+
+    ``bucketed`` selects length-bucketed minibatching (throughput mode;
+    statistically equivalent curves under different padded widths);
+    ``False`` keeps the seed implementation's pad-to-longest batches and
+    reproduces its loss curves bit-for-bit.  ``fused`` toggles the
+    in-place fused optimizer kernels (bit-identical to the reference
+    kernels either way).
+    """
 
     circuitformer_epochs: int = 24
     circuitformer_batch: int = 128
@@ -49,6 +68,8 @@ class TrainingConfig:
     aggregator_weight_decay: float = 1e-3
     validation_fraction: float = 0.15
     seed: int = 0
+    bucketed: bool = False
+    fused: bool = True
 
 
 @dataclass
@@ -62,8 +83,53 @@ class EpochStats:
 
 def train_circuitformer(model: Circuitformer, records: list[PathRecord],
                         config: TrainingConfig | None = None,
-                        verbose: bool = False) -> list[EpochStats]:
-    """Fit the Circuitformer on the Circuit Path Dataset; returns curves."""
+                        verbose: bool = False, engine=None) -> list[EpochStats]:
+    """Fit the Circuitformer on the Circuit Path Dataset; returns curves.
+
+    Delegates to a :class:`repro.runtime.trainer.TrainingEngine` built
+    from ``config`` (pass ``engine`` to share one — and its encoding
+    cache/profiles — across calls).
+    """
+    from ..runtime.trainer import TrainingEngine
+
+    config = config or TrainingConfig()
+    engine = engine or TrainingEngine.from_config(config)
+    return engine.train_circuitformer(model, records, config, verbose=verbose)
+
+
+def train_aggregator(mlp: AggregationMLP, designs: list[DesignRecord],
+                     circuitformer: Circuitformer, sampler: PathSampler,
+                     config: TrainingConfig | None = None,
+                     verbose: bool = False, engine=None,
+                     features: list | None = None) -> list[float]:
+    """Fit the Aggregation MLP on design-level labels (Figure 4, step 2).
+
+    For every training design: sample paths, predict them with the
+    trained Circuitformer, reduce (max/sum/sum), featurize with graph
+    statistics, and regress the design's log labels.  Returns the
+    per-epoch loss curve (averaged over the three target heads).
+    ``features`` optionally carries precomputed
+    ``TrainingEngine.prepare_design_features`` output.
+    """
+    from ..runtime.trainer import TrainingEngine
+
+    config = config or TrainingConfig()
+    engine = engine or TrainingEngine.from_config(config)
+    return engine.train_aggregator(mlp, designs, circuitformer, sampler,
+                                   config, verbose=verbose, features=features)
+
+
+def train_circuitformer_reference(model: Circuitformer, records: list[PathRecord],
+                                  config: TrainingConfig | None = None,
+                                  verbose: bool = False) -> list[EpochStats]:
+    """The seed implementation's training loop, kept verbatim.
+
+    Pads every batch to the longest record, allocates a fresh autograd
+    graph per step without freeing it eagerly, and updates weights with
+    the allocate-per-step :class:`~repro.nn.ReferenceAdam`.  The engine's
+    compatibility mode must match this loop to the last bit (parity
+    tested); the training throughput benchmark uses it as the baseline.
+    """
     config = config or TrainingConfig()
     if len(records) < 4:
         raise ValueError(f"need at least 4 path records, got {len(records)}")
@@ -82,7 +148,7 @@ def train_circuitformer(model: Circuitformer, records: list[PathRecord],
     perm = rng.permutation(n)
     val_idx, train_idx = perm[:n_val], perm[n_val:]
 
-    opt = nn.Adam(model.parameters(), lr=config.circuitformer_lr)
+    opt = nn.ReferenceAdam(model.parameters(), lr=config.circuitformer_lr)
     history: list[EpochStats] = []
     for epoch in range(config.circuitformer_epochs):
         model.train()
@@ -93,7 +159,7 @@ def train_circuitformer(model: Circuitformer, records: list[PathRecord],
             pred = model.forward(ids[batch], mask[batch])
             loss = nn.mse_loss(pred, targets[batch])
             opt.zero_grad()
-            loss.backward()
+            loss.backward(free_graph=False)
             nn.clip_grad_norm(model.parameters(), 5.0)
             opt.step()
             train_losses.append(loss.item())
@@ -109,17 +175,12 @@ def train_circuitformer(model: Circuitformer, records: list[PathRecord],
     return history
 
 
-def train_aggregator(mlp: AggregationMLP, designs: list[DesignRecord],
-                     circuitformer: Circuitformer, sampler: PathSampler,
-                     config: TrainingConfig | None = None,
-                     verbose: bool = False) -> list[float]:
-    """Fit the Aggregation MLP on design-level labels (Figure 4, step 2).
-
-    For every training design: sample paths, predict them with the
-    trained Circuitformer, reduce (max/sum/sum), featurize with graph
-    statistics, and regress the design's log labels.  Returns the
-    per-epoch loss curve (averaged over the three target heads).
-    """
+def train_aggregator_reference(mlp: AggregationMLP, designs: list[DesignRecord],
+                               circuitformer: Circuitformer, sampler: PathSampler,
+                               config: TrainingConfig | None = None,
+                               verbose: bool = False) -> list[float]:
+    """The seed implementation's aggregator loop, kept verbatim
+    (see :func:`train_circuitformer_reference`)."""
     from .aggregator import featurize_design
 
     config = config or TrainingConfig()
@@ -146,8 +207,8 @@ def train_aggregator(mlp: AggregationMLP, designs: list[DesignRecord],
     targets = (residuals - mlp.residual_mean) / mlp.residual_std
 
     params = [p for head in mlp.heads for p in head.parameters()]
-    opt = nn.Adam(params, lr=config.aggregator_lr,
-                  weight_decay=config.aggregator_weight_decay)
+    opt = nn.ReferenceAdam(params, lr=config.aggregator_lr,
+                           weight_decay=config.aggregator_weight_decay)
 
     n = len(designs)
     curve: list[float] = []
@@ -162,7 +223,7 @@ def train_aggregator(mlp: AggregationMLP, designs: list[DesignRecord],
                 loss = nn.mse_loss(pred, targets[batch, t])
                 total = loss if total is None else total + loss
             opt.zero_grad()
-            total.backward()
+            total.backward(free_graph=False)
             nn.clip_grad_norm(params, 5.0)
             opt.step()
             losses.append(total.item() / 3.0)

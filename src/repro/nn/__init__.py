@@ -12,11 +12,12 @@ self-contained substitute. It provides:
 """
 
 from .tensor import Tensor, tensor, zeros, ones, no_grad, is_grad_enabled
-from .module import Module, Parameter
+from .pool import ScratchPool, scratch_pool
+from .module import Module, Parameter, ParamData
 from .layers import Linear, Embedding, LayerNorm, Dropout, ReLU, Tanh, GELU, Sequential
 from .attention import MultiHeadSelfAttention, TransformerEncoderLayer, TransformerEncoder
 from .rnn import GRU, GRUCell
-from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .optim import SGD, Adam, Optimizer, ReferenceSGD, ReferenceAdam, clip_grad_norm
 from .schedule import LRScheduler, StepLR, CosineAnnealingLR, WarmupLR, EarlyStopping
 from .functional import (
     concatenate,
@@ -31,11 +32,12 @@ from .serialize import save_module, load_module
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones", "no_grad", "is_grad_enabled",
-    "Module", "Parameter",
+    "ScratchPool", "scratch_pool",
+    "Module", "Parameter", "ParamData",
     "Linear", "Embedding", "LayerNorm", "Dropout", "ReLU", "Tanh", "GELU", "Sequential",
     "MultiHeadSelfAttention", "TransformerEncoderLayer", "TransformerEncoder",
     "GRU", "GRUCell",
-    "SGD", "Adam", "Optimizer", "clip_grad_norm",
+    "SGD", "Adam", "Optimizer", "ReferenceSGD", "ReferenceAdam", "clip_grad_norm",
     "LRScheduler", "StepLR", "CosineAnnealingLR", "WarmupLR", "EarlyStopping",
     "concatenate", "stack", "mse_loss", "l1_loss", "huber_loss",
     "cross_entropy", "binary_cross_entropy",

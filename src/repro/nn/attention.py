@@ -51,7 +51,9 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.k_proj(x), batch, seq)
         v = self._split_heads(self.v_proj(x), batch, seq)
 
-        scores = q.matmul(k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        # Fused (q @ k^T) * scale: one (B, H, S, S) buffer instead of two,
+        # bit-identical to the two-op composition.
+        scores = q.matmul_scaled(k.transpose(0, 1, 3, 2), 1.0 / np.sqrt(self.d_head))
         if key_padding_mask is not None:
             mask = np.asarray(key_padding_mask, dtype=bool)[:, None, None, :]
             scores = scores.masked_fill(np.broadcast_to(mask, scores.shape), _NEG_INF)

@@ -11,7 +11,7 @@ import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "ParamData", "Module"]
 
 
 # The slot descriptor for Tensor.data — Parameter shadows the slot with a
@@ -19,16 +19,68 @@ __all__ = ["Parameter", "Module"]
 _TENSOR_DATA = Tensor.__dict__["data"]
 
 
+class ParamData(np.ndarray):
+    """Parameter weight storage that tracks in-place mutation.
+
+    A :class:`Parameter`'s ``.data`` is stored as this ndarray subclass
+    with a back-reference to its owner.  Any in-place write — a ufunc
+    with this array as an ``out`` target (``np.add(w, g, out=w)``, the
+    fused optimizer kernels, augmented assignments like ``w += g``),
+    ``ufunc.at`` indexed updates, or element assignment (``w[0] = x``) —
+    bumps the owner's :attr:`Parameter.version`, so content-addressed
+    consumers (the prediction cache's model fingerprint) can never serve
+    stale entries after an in-place optimizer step.  Views and results of
+    ordinary ops carry no owner and bump nothing.
+    """
+
+    _owner = None  # the owning Parameter (None for views/derived arrays)
+
+    def __array_finalize__(self, obj):
+        self._owner = None
+
+    def _bump(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner.version += 1
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        # Strip the subclass before dispatching so numpy runs its normal
+        # kernels, then bump owners whose buffers were written in place.
+        out = kwargs.get("out")
+        mutated_at = inputs[0] if method == "at" and inputs else None
+        inputs = tuple(x.view(np.ndarray) if isinstance(x, ParamData) else x
+                       for x in inputs)
+        if out is not None:
+            kwargs["out"] = tuple(o.view(np.ndarray) if isinstance(o, ParamData)
+                                  else o for o in out)
+        result = getattr(ufunc, method)(*inputs, **kwargs)
+        if out is not None:
+            for o in out:
+                if isinstance(o, ParamData):
+                    o._bump()
+            # Hand back the original out objects so augmented assignment
+            # (``w += g``) rebinds to the tracked array, not a plain view.
+            result = out[0] if ufunc.nout == 1 else tuple(out)
+        elif isinstance(mutated_at, ParamData):
+            # ufunc.at writes its first operand in place.
+            mutated_at._bump()
+        return result
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._bump()
+
+
 class Parameter(Tensor):
     """A trainable tensor; always created with ``requires_grad=True``.
 
-    Every assignment to :attr:`data` — including augmented assignments
-    like the optimizer's ``p.data -= lr * v``, which re-assign after the
-    in-place op — increments :attr:`version`.  Consumers such as the
+    :attr:`version` counts weight mutations: every assignment to
+    :attr:`data` (including ``load_state_dict``) and — via the
+    :class:`ParamData` storage class — every *in-place* write
+    (``p.data += g``, ``np.multiply(..., out=p.data)``, ``p.data[0] = x``,
+    the fused optimizer kernels) increments it.  Consumers such as the
     prediction cache's model fingerprint use the counter to detect weight
-    changes without re-hashing unchanged weights.  Direct element writes
-    that never re-assign (``p.data[0] = x``) bypass the counter; mutate
-    through assignment instead.
+    changes without re-hashing unchanged weights.
     """
 
     __slots__ = ("version",)
@@ -43,7 +95,15 @@ class Parameter(Tensor):
 
     @data.setter
     def data(self, value):
-        _TENSOR_DATA.__set__(self, value)
+        if (isinstance(value, ParamData) and value._owner is self
+                and value is _TENSOR_DATA.__get__(self, Parameter)):
+            # Re-assignment of the *current* storage (the tail of an
+            # augmented assignment like ``p.data -= x``): the in-place
+            # ufunc already bumped the version, so nothing to do.
+            return
+        arr = np.asarray(value, dtype=np.float64).view(ParamData)
+        arr._owner = self
+        _TENSOR_DATA.__set__(self, arr)
         self.version += 1
 
 

@@ -1,12 +1,30 @@
-"""Optimizers matching Table 6 of the paper: Adam and SGD (momentum)."""
+"""Optimizers matching Table 6 of the paper: Adam and SGD (momentum).
+
+Both optimizers run *fused in-place kernels*: every update is a short
+sequence of ``np.<op>(..., out=...)`` calls writing into persistent
+per-optimizer scratch buffers and directly into the parameter storage,
+so a step allocates nothing after the first call.  The arithmetic is
+ordered exactly like the naive out-of-place formulation, making the
+fused kernels bit-identical to :class:`ReferenceAdam` /
+:class:`ReferenceSGD` (asserted in the test suite).  In-place parameter
+writes still bump :attr:`Parameter.version` via the :class:`ParamData`
+storage class, so content-addressed prediction caches invalidate
+correctly after every step.
+
+``step(max_grad_norm=...)`` additionally fuses global-norm gradient
+clipping into the update, replacing the separate
+``clip_grad_norm`` + ``step`` call pair in training loops.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from .module import Parameter
+from .pool import scratch_pool
 
-__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "ReferenceSGD", "ReferenceAdam",
+           "clip_grad_norm"]
 
 
 class Optimizer:
@@ -22,21 +40,123 @@ class Optimizer:
         for p in self.params:
             p.zero_grad()
 
-    def step(self) -> None:
+    def _scratch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Two flat scratch buffers sized for the largest parameter.
+
+        Per-parameter views of these buffers hold every temporary of the
+        fused update kernels; nothing else is allocated per step.
+        """
+        size = max(p.size for p in self.params)
+        return np.empty(size, dtype=np.float64), np.empty(size, dtype=np.float64)
+
+    def step(self, max_grad_norm: float | None = None) -> None:
         raise NotImplementedError
 
 
 class SGD(Optimizer):
-    """Stochastic gradient descent with classical momentum."""
+    """Stochastic gradient descent with classical momentum (fused)."""
 
     def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
                  weight_decay: float = 0.0):
         super().__init__(params, lr)
         self.momentum = momentum
         self.weight_decay = weight_decay
-        self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._velocity = [np.zeros(p.shape, dtype=np.float64) for p in self.params]
+        self._buffers = None
 
-    def step(self) -> None:
+    def step(self, max_grad_norm: float | None = None) -> None:
+        if max_grad_norm is not None:
+            clip_grad_norm(self.params, max_grad_norm)
+        if self._buffers is None:
+            self._buffers = self._scratch()
+        flat1, _ = self._buffers
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            s1 = flat1[:p.size].reshape(p.shape)
+            if self.weight_decay:
+                # grad + wd * p.data, ordered like the reference kernel.
+                np.multiply(p.data, self.weight_decay, out=s1)
+                np.add(grad, s1, out=s1)
+                grad = s1
+            np.multiply(v, self.momentum, out=v)
+            np.add(v, grad, out=v)
+            # p.data -= lr * v  (the out= write bumps Parameter.version)
+            np.multiply(v, self.lr, out=s1)
+            np.subtract(p.data, s1, out=p.data)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction (fused)."""
+
+    def __init__(self, params, lr: float = 0.001, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros(p.shape, dtype=np.float64) for p in self.params]
+        self._v = [np.zeros(p.shape, dtype=np.float64) for p in self.params]
+        self._t = 0
+        self._buffers = None
+
+    def step(self, max_grad_norm: float | None = None) -> None:
+        if max_grad_norm is not None:
+            clip_grad_norm(self.params, max_grad_norm)
+        if self._buffers is None:
+            self._buffers = self._scratch()
+        flat1, flat2 = self._buffers
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            s1 = flat1[:p.size].reshape(p.shape)
+            s2 = flat2[:p.size].reshape(p.shape)
+            if self.weight_decay:
+                np.multiply(p.data, self.weight_decay, out=s1)
+                np.add(grad, s1, out=s1)
+                grad = s1  # s1 now pinned until the moment updates finish
+            # m = b1*m + (1-b1)*grad
+            np.multiply(m, b1, out=m)
+            np.multiply(grad, 1.0 - b1, out=s2)
+            np.add(m, s2, out=m)
+            # v = b2*v + ((1-b2)*grad)*grad  (reference evaluation order)
+            np.multiply(grad, 1.0 - b2, out=s2)
+            np.multiply(s2, grad, out=s2)
+            np.multiply(v, b2, out=v)
+            np.add(v, s2, out=v)
+            # p.data -= (lr * (m/bias1)) / (sqrt(v/bias2) + eps)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.divide(m, bias1, out=s1)
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(s1, s2, out=s1)
+            np.subtract(p.data, s1, out=p.data)
+
+
+class ReferenceSGD(Optimizer):
+    """The naive allocate-per-step SGD kernel.
+
+    Kept as the bit-exact reference for :class:`SGD` (parity-tested) and
+    as the seed-cost baseline in the training throughput benchmark.
+    """
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(np.asarray(p.data)) for p in self.params]
+
+    def step(self, max_grad_norm: float | None = None) -> None:
+        if max_grad_norm is not None:
+            clip_grad_norm(self.params, max_grad_norm)
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -45,11 +165,11 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * p.data
             v *= self.momentum
             v += grad
-            p.data -= self.lr * v
+            p.data = p.data - self.lr * v
 
 
-class Adam(Optimizer):
-    """Adam (Kingma & Ba, 2014) with bias correction."""
+class ReferenceAdam(Optimizer):
+    """The naive allocate-per-step Adam kernel (see :class:`ReferenceSGD`)."""
 
     def __init__(self, params, lr: float = 0.001, betas: tuple[float, float] = (0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.0):
@@ -57,11 +177,13 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
-        self._m = [np.zeros_like(p.data) for p in self.params]
-        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._m = [np.zeros_like(np.asarray(p.data)) for p in self.params]
+        self._v = [np.zeros_like(np.asarray(p.data)) for p in self.params]
         self._t = 0
 
-    def step(self) -> None:
+    def step(self, max_grad_norm: float | None = None) -> None:
+        if max_grad_norm is not None:
+            clip_grad_norm(self.params, max_grad_norm)
         self._t += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1 ** self._t
@@ -76,21 +198,36 @@ class Adam(Optimizer):
             m += (1 - b1) * grad
             v *= b2
             v += (1 - b2) * grad * grad
-            p.data -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            p.data = p.data - self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
 
 
 def clip_grad_norm(params, max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm.
+    The norm is computed in a single BLAS pass (one ``dot``) over the
+    flattened gradients — gathered into a pooled scratch vector when
+    there is more than one — instead of a Python loop of per-array
+    square-sums.  Returns the pre-clip norm.
     """
-    total = 0.0
     grads = [p.grad for p in params if p.grad is not None]
-    for g in grads:
-        total += float((g * g).sum())
-    norm = np.sqrt(total)
+    if not grads:
+        return 0.0
+    if len(grads) == 1:
+        flat = grads[0].reshape(-1)
+        total = float(np.dot(flat, flat))
+    else:
+        size = sum(g.size for g in grads)
+        buf = scratch_pool.take((size,))
+        pos = 0
+        for g in grads:
+            n = g.size
+            np.copyto(buf[pos:pos + n], g.reshape(-1))
+            pos += n
+        total = float(np.dot(buf, buf))
+        scratch_pool.give(buf)
+    norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm
         for g in grads:
-            g *= scale
+            np.multiply(g, scale, out=g)
     return norm

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .pool import scratch_pool
+
 __all__ = ["Tensor", "tensor", "zeros", "ones", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -55,6 +57,15 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _pooled_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` into a scratch-pool buffer (caller gives it back)."""
+    shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) \
+        + (a.shape[-2], b.shape[-1])
+    out = scratch_pool.take(shape)
+    np.matmul(a, b, out=out)
+    return out
+
+
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff.
 
@@ -67,7 +78,8 @@ class Tensor:
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op",
+                 "__weakref__")
     __array_priority__ = 100  # make numpy defer to our __radd__/__rmul__ etc.
 
     def __init__(self, data, requires_grad: bool = False, _parents=(), _op: str = ""):
@@ -134,11 +146,18 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None,
+                 free_graph: bool = True) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to 1.0 and must be supplied for non-scalar
-        outputs.
+        outputs.  With ``free_graph=True`` (the default) the computation
+        graph is torn down once gradients have flowed: every visited
+        node drops its parent references and backward closure, so the
+        forward intermediates those closures capture become collectible
+        immediately instead of living until the loss tensor dies.  Pass
+        ``free_graph=False`` to keep the graph (e.g. to call backward
+        again with a different seed gradient).
         """
         if grad is None:
             if self.data.size != 1:
@@ -167,6 +186,9 @@ class Tensor:
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+            if free_graph:
+                node._backward = None
+                node._parents = ()
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
@@ -256,16 +278,51 @@ class Tensor:
         if out.requires_grad:
             def _backward(grad):
                 if self.requires_grad:
-                    ga = grad @ np.swapaxes(b, -1, -2)
+                    ga = _pooled_matmul(grad, np.swapaxes(b, -1, -2))
                     self._accumulate(_unbroadcast(ga, a.shape))
+                    scratch_pool.give(ga)
                 if other.requires_grad:
-                    gb = np.swapaxes(a, -1, -2) @ grad
+                    gb = _pooled_matmul(np.swapaxes(a, -1, -2), grad)
                     other._accumulate(_unbroadcast(gb, b.shape))
+                    scratch_pool.give(gb)
             out._backward = _backward
         return out
 
     def __matmul__(self, other) -> "Tensor":
         return self.matmul(other)
+
+    def matmul_scaled(self, other: "Tensor", scale: float) -> "Tensor":
+        """Fused ``(self @ other) * scale`` (attention's score kernel).
+
+        Bit-identical to the two-op composition, but the scale is applied
+        in place on the matmul output, so no second full-size intermediate
+        (nor its gradient buffer) is ever materialized — on attention's
+        ``(batch, heads, seq, seq)`` score matrices that is the largest
+        allocation of the whole forward pass.
+        """
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        if a.ndim == 1 or b.ndim == 1:
+            raise ValueError("matmul requires operands with ndim >= 2; reshape vectors first")
+        scale = float(scale)
+        data = a @ b
+        np.multiply(data, scale, out=data)
+        out = self._make_child(data, (self, other), "matmul_scaled")
+        if out.requires_grad:
+            def _backward(grad):
+                g = scratch_pool.take(grad.shape)
+                np.multiply(grad, scale, out=g)
+                if self.requires_grad:
+                    ga = _pooled_matmul(g, np.swapaxes(b, -1, -2))
+                    self._accumulate(_unbroadcast(ga, a.shape))
+                    scratch_pool.give(ga)
+                if other.requires_grad:
+                    gb = _pooled_matmul(np.swapaxes(a, -1, -2), g)
+                    other._accumulate(_unbroadcast(gb, b.shape))
+                    scratch_pool.give(gb)
+                scratch_pool.give(g)
+            out._backward = _backward
+        return out
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
@@ -321,7 +378,10 @@ class Tensor:
                 g = grad
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis)
-                self._accumulate(np.broadcast_to(g, self.shape).copy())
+                buf = scratch_pool.take(self.shape)
+                np.copyto(buf, g)
+                self._accumulate(buf)
+                scratch_pool.give(buf)
             out._backward = _backward
         return out
 
@@ -409,21 +469,32 @@ class Tensor:
     # Softmax family (stable, fused backward)
     # ------------------------------------------------------------------ #
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        e = np.exp(shifted)
-        probs = e / e.sum(axis=axis, keepdims=True)
+        # One full-size allocation instead of three: the shifted logits
+        # buffer is exponentiated and normalized in place (bit-identical
+        # to the out-of-place composition).
+        probs = self.data - self.data.max(axis=axis, keepdims=True)
+        np.exp(probs, out=probs)
+        np.divide(probs, probs.sum(axis=axis, keepdims=True), out=probs)
         out = self._make_child(probs, (self,), "softmax")
         if out.requires_grad:
             def _backward(grad):
-                dot = (grad * probs).sum(axis=axis, keepdims=True)
-                self._accumulate(probs * (grad - dot))
+                buf = scratch_pool.take(probs.shape)
+                np.multiply(grad, probs, out=buf)
+                dot = buf.sum(axis=axis, keepdims=True)
+                np.subtract(grad, dot, out=buf)
+                np.multiply(buf, probs, out=buf)
+                self._accumulate(buf)
+                scratch_pool.give(buf)
             out._backward = _backward
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out_data = shifted - logsumexp
+        e = scratch_pool.take(shifted.shape)
+        np.exp(shifted, out=e)
+        logsumexp = np.log(e.sum(axis=axis, keepdims=True))
+        scratch_pool.give(e)
+        out_data = np.subtract(shifted, logsumexp, out=shifted)
         out = self._make_child(out_data, (self,), "log_softmax")
         if out.requires_grad:
             def _backward(grad):

@@ -6,6 +6,10 @@ Layers a batched, cached serving engine over the core SNS predictor:
   pooled forward passes, bit-identical to serial ``SNS.predict``.
 - :class:`PredictionCache` — content-addressed (graph, weights, sampler,
   activity) cache with an in-memory LRU tier and an optional disk tier.
+- :class:`TrainingEngine` — length-bucketed minibatching with fused
+  in-place optimizer steps, graph-freeing backward, and epoch-persistent
+  encodings (:class:`PreparedPathDataset` / :class:`EncodingCache`),
+  reporting per-phase :class:`TrainerProfile` timings.
 - :func:`parallel_sample_path_dataset` — process-pool label generation
   for the Circuit Path Dataset.
 - Fingerprint helpers for cache keying and invalidation.
@@ -21,10 +25,13 @@ from .fingerprint import (
     fingerprint_sampler,
 )
 from .parallel import derive_design_seed, parallel_sample_path_dataset
+from .trainer import (EncodingCache, PreparedPathDataset, TrainerProfile,
+                      TrainingEngine)
 
 __all__ = [
     "BatchPredictor", "resolve_activity_maps",
     "PredictionCache", "CacheStats",
+    "TrainingEngine", "PreparedPathDataset", "EncodingCache", "TrainerProfile",
     "cache_key", "fingerprint_activity", "fingerprint_graph",
     "fingerprint_model", "fingerprint_sampler",
     "derive_design_seed", "parallel_sample_path_dataset",

@@ -112,15 +112,22 @@ class BatchPredictor:
         the kernel's output is chunk-size independent.
     caching:
         Set False to skip fingerprinting and cache lookups entirely.
+    encoding_cache:
+        Optional :class:`repro.runtime.trainer.EncodingCache` handed to
+        ``predict_unique`` so repeated bucket chunks skip re-encoding —
+        share the training engine's cache to reuse epoch encodings at
+        serving time.
     """
 
     def __init__(self, sns: SNS, cache: PredictionCache | None = None,
-                 batch_size: int = 32, caching: bool = True):
+                 batch_size: int = 32, caching: bool = True,
+                 encoding_cache=None):
         self.sns = sns
         self.caching = caching
         self.cache = (cache if cache is not None else PredictionCache()) \
             if caching else None
         self.batch_size = batch_size
+        self.encoding_cache = encoding_cache
 
     # ------------------------------------------------------------------ #
     def predict_batch(self, designs, activity_maps=None) -> list[SNSPrediction]:
@@ -173,7 +180,8 @@ class BatchPredictor:
 
         # ---- one pooled, bucketed inference pass over unique sequences
         physical = (self.sns.circuitformer.predict_unique(
-            list(unique), batch_size=self.batch_size)
+            list(unique), batch_size=self.batch_size,
+            encoding_cache=self.encoding_cache)
             if unique else np.zeros((0, 3)))
 
         # ---- aggregate per pending group, fill every member

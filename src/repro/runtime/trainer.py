@@ -1,0 +1,486 @@
+"""The length-bucketed training engine with fused optimizer steps.
+
+:class:`TrainingEngine` is the throughput path for fitting the
+Circuitformer and the Aggregation MLP.  It differs from the reference
+loops in :mod:`repro.core.training` in four ways:
+
+1. **Length-bucketed minibatching** — path records are grouped into
+   padded-length buckets (:data:`~repro.core.circuitformer.BUCKET_BOUNDARIES`),
+   so a batch of 6-token paths runs a 9-wide forward pass instead of
+   padding to the longest path in the dataset.  Shuffling stays
+   deterministic in the training seed: the record order is permuted,
+   records are grouped by bucket, and the resulting batch list is
+   permuted again — all from the one ``TrainingConfig.seed`` stream.
+2. **Fused optimizer steps** — ``opt.step(max_grad_norm=...)`` folds
+   global-norm clipping into the in-place :class:`repro.nn.Adam` /
+   :class:`repro.nn.SGD` kernels (bit-identical to the reference
+   optimizers, allocation-free after the first step).
+3. **Autograd memory discipline** — every ``backward`` runs with
+   ``free_graph=True``, releasing closure references as soon as each
+   node's gradient is propagated, and the big attention temporaries
+   recycle through :data:`repro.nn.scratch_pool`.
+4. **Epoch-persistent encoding** — each bucket is encoded *once* into a
+   :class:`PreparedPathDataset` and sliced per batch for every epoch,
+   instead of re-padding per step; an optional :class:`EncodingCache`
+   additionally shares encodings with inference
+   (:meth:`~repro.core.circuitformer.Circuitformer.predict_unique` and
+   the :class:`~repro.runtime.engine.BatchPredictor`).
+
+Compatibility: ``TrainingEngine(bucketed=False)`` replicates the
+reference loops' padding, batch composition, and RNG consumption
+*exactly*, so its loss curves and final weights match the seed
+implementation to the last bit (asserted in the test suite).  Bucketed
+mode changes padded widths — and therefore BLAS kernel selection and
+rounding — so it reproduces the seed curves statistically, not bitwise
+(the same caveat ``predict_unique`` documents for inference).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..core.circuitformer import (TargetScaler, bucket_for_length,
+                                  encode_batch)
+from ..core.training import EpochStats, TrainingConfig
+
+__all__ = ["EncodingCache", "PreparedPathDataset", "TrainerProfile",
+           "TrainingEngine"]
+
+try:
+    import resource
+
+    def _peak_rss_kb() -> int:
+        return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+except ImportError:  # non-posix
+    def _peak_rss_kb() -> int:
+        return 0
+
+
+class EncodingCache:
+    """LRU cache over :func:`~repro.core.circuitformer.encode_batch`.
+
+    Keyed on ``(vocabulary, padded length, token sequences)``; a hit
+    returns the previously-built ``(ids, pad_mask)`` pair without
+    touching numpy.  Shared between the training engine (bucket
+    encodings reused every epoch) and inference (``predict_unique``
+    re-encoding the same bucket chunks across calls).  Entries hold a
+    strong reference to their vocabulary so ``id(vocab)`` keys cannot be
+    recycled while an entry lives.
+
+    Consumers must treat returned arrays as read-only (they only ever
+    index them, which copies).
+    """
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def encode(self, token_seqs, vocab, max_len: int):
+        """Cached ``encode_batch(token_seqs, vocab, max_len)``."""
+        key = (id(vocab), int(max_len), tuple(tuple(s) for s in token_seqs))
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        pair = encode_batch(list(token_seqs), vocab, int(max_len))
+        self._entries[key] = (vocab, pair)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return pair
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries)}
+
+
+class PreparedPathDataset:
+    """Token sequences encoded once, sliceable per batch across epochs.
+
+    In bucketed mode every sequence is assigned the smallest
+    :data:`~repro.core.circuitformer.BUCKET_BOUNDARIES` boundary that
+    holds it and each bucket is encoded at its own padded width.  In
+    compatibility mode (``bucketed=False``) there is a single global
+    bucket padded to ``max_len`` whose row order matches the input —
+    ``slice(rows)`` is then exactly ``ids[rows], mask[rows]`` of the
+    reference loop's one-shot encoding.
+    """
+
+    def __init__(self, token_seqs, vocab, max_len: int, bucketed: bool = True,
+                 encoding_cache: EncodingCache | None = None):
+        self.max_len = int(max_len)
+        self.bucketed = bool(bucketed)
+        n = len(token_seqs)
+        if bucketed:
+            bucket_of = np.fromiter(
+                (bucket_for_length(len(s), self.max_len) for s in token_seqs),
+                dtype=np.int64, count=n)
+        else:
+            bucket_of = np.full(n, self.max_len, dtype=np.int64)
+        self.bucket_of = bucket_of
+        self.local_of = np.empty(n, dtype=np.int64)
+        self._store: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for bucket in sorted(set(bucket_of.tolist())):
+            idx = np.flatnonzero(bucket_of == bucket)
+            seqs = [token_seqs[i] for i in idx]
+            if encoding_cache is not None:
+                ids, mask = encoding_cache.encode(seqs, vocab, bucket)
+            else:
+                ids, mask = encode_batch(seqs, vocab, bucket)
+            self.local_of[idx] = np.arange(len(idx))
+            self._store[int(bucket)] = (ids, mask)
+
+    def __len__(self) -> int:
+        return len(self.bucket_of)
+
+    @property
+    def buckets(self) -> list[int]:
+        return sorted(self._store)
+
+    def bucket_histogram(self) -> dict[int, int]:
+        """Rows per padded width (the profile's bucket occupancy report)."""
+        return {bucket: int(self._store[bucket][0].shape[0])
+                for bucket in self.buckets}
+
+    def padded_cells(self) -> int:
+        """Total (row, position) cells across all encodings."""
+        return int(sum(ids.size for ids, _ in self._store.values()))
+
+    def slice(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(ids, pad_mask)`` for ``rows``, which must share one bucket."""
+        bucket = int(self.bucket_of[rows[0]])
+        ids, mask = self._store[bucket]
+        loc = self.local_of[rows]
+        return ids[loc], mask[loc]
+
+    def group_by_bucket(self, rows: np.ndarray) -> dict[int, np.ndarray]:
+        """Partition ``rows`` by bucket, preserving order within each."""
+        groups: dict[int, list[int]] = {}
+        for r in rows:
+            groups.setdefault(int(self.bucket_of[r]), []).append(int(r))
+        return {b: np.asarray(v, dtype=np.int64) for b, v in groups.items()}
+
+
+@dataclass
+class TrainerProfile:
+    """Per-phase timing and allocation report for one training run."""
+
+    model: str
+    epochs: int
+    steps: int
+    wall_s: float
+    phase_seconds: dict[str, float]
+    steps_per_sec: float
+    peak_rss_delta_kb: int
+    bucket_rows: dict[int, int] = field(default_factory=dict)
+    pool_stats: dict[str, object] = field(default_factory=dict)
+    encoding_stats: dict[str, int] | None = None
+
+    def format(self) -> str:
+        lines = [f"[{self.model}] {self.epochs} epochs, {self.steps} steps "
+                 f"in {self.wall_s:.2f}s ({self.steps_per_sec:.1f} steps/s), "
+                 f"peak-RSS +{self.peak_rss_delta_kb} kB"]
+        total = max(self.wall_s, 1e-12)
+        for phase, secs in sorted(self.phase_seconds.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {phase:<10s} {secs:8.3f}s  ({100 * secs / total:5.1f}%)")
+        if self.bucket_rows:
+            occupancy = ", ".join(f"{b}:{c}" for b, c in
+                                  sorted(self.bucket_rows.items()))
+            lines.append(f"  buckets    {occupancy}")
+        if self.encoding_stats:
+            lines.append(f"  encoding   {self.encoding_stats['hits']} hits / "
+                         f"{self.encoding_stats['misses']} misses "
+                         f"({self.encoding_stats['entries']} cached)")
+        if self.pool_stats:
+            lines.append(f"  pool       {self.pool_stats.get('hits', 0)} hits / "
+                         f"{self.pool_stats.get('misses', 0)} misses, "
+                         f"{self.pool_stats.get('stored_bytes', 0)} bytes held")
+        return "\n".join(lines)
+
+
+class TrainingEngine:
+    """Length-bucketed, fused-optimizer training over the nn stack.
+
+    Parameters
+    ----------
+    bucketed:
+        Group records into padded-length buckets (throughput mode).
+        ``False`` is the compatibility mode: padding, batch composition,
+        and RNG consumption replicate the reference loops exactly, so
+        the engine reproduces the seed loss curves bit-for-bit.
+    fused:
+        Use the in-place fused optimizers with clipping folded into
+        ``step``; ``False`` falls back to the allocate-per-step
+        reference kernels (numerically identical either way).
+    free_graph:
+        Release autograd closures during ``backward`` (memory
+        discipline; numerics unaffected).
+    encoding_cache:
+        Optional :class:`EncodingCache` shared with inference.
+    """
+
+    def __init__(self, bucketed: bool = True, fused: bool = True,
+                 free_graph: bool = True,
+                 encoding_cache: EncodingCache | None = None):
+        self.bucketed = bool(bucketed)
+        self.fused = bool(fused)
+        self.free_graph = bool(free_graph)
+        self.encoding_cache = encoding_cache
+        self.last_profile: TrainerProfile | None = None
+        self.profiles: dict[str, TrainerProfile] = {}
+
+    @classmethod
+    def from_config(cls, config: TrainingConfig,
+                    encoding_cache: EncodingCache | None = None) -> "TrainingEngine":
+        return cls(bucketed=getattr(config, "bucketed", False),
+                   fused=getattr(config, "fused", True),
+                   encoding_cache=encoding_cache)
+
+    # ------------------------------------------------------------------ #
+    # Circuitformer
+    # ------------------------------------------------------------------ #
+    def train_circuitformer(self, model, records, config: TrainingConfig | None = None,
+                            verbose: bool = False) -> list[EpochStats]:
+        """Fit the Circuitformer on the Circuit Path Dataset; returns curves."""
+        config = config or TrainingConfig()
+        if len(records) < 4:
+            raise ValueError(f"need at least 4 path records, got {len(records)}")
+        rss0 = _peak_rss_kb()
+        wall0 = time.perf_counter()
+        phases = {"prepare": 0.0, "forward": 0.0, "backward": 0.0,
+                  "optimizer": 0.0, "validation": 0.0}
+        rng = np.random.default_rng(config.seed)
+
+        t0 = time.perf_counter()
+        labels = np.stack([r.labels for r in records])
+        model.scaler = TargetScaler.fit(labels)
+        targets = model.scaler.transform(labels)
+        max_len = min(model.config.max_input_size - 1,
+                      max(len(r.tokens) for r in records))
+        prepared = PreparedPathDataset(
+            [r.tokens for r in records], model.vocab, max_len,
+            bucketed=self.bucketed, encoding_cache=self.encoding_cache)
+        phases["prepare"] += time.perf_counter() - t0
+
+        n = len(records)
+        n_val = max(1, int(round(config.validation_fraction * n)))
+        perm = rng.permutation(n)
+        val_idx, train_idx = perm[:n_val], perm[n_val:]
+
+        opt_cls = nn.Adam if self.fused else nn.ReferenceAdam
+        opt = opt_cls(model.parameters(), lr=config.circuitformer_lr)
+        history: list[EpochStats] = []
+        steps = 0
+        for epoch in range(config.circuitformer_epochs):
+            model.train()
+            train_losses = []
+            for batch in self._epoch_batches(prepared, train_idx,
+                                             config.circuitformer_batch, rng):
+                ids, mask = prepared.slice(batch)
+                t0 = time.perf_counter()
+                pred = model.forward(ids, mask)
+                loss = nn.mse_loss(pred, targets[batch])
+                phases["forward"] += time.perf_counter() - t0
+                opt.zero_grad()
+                t0 = time.perf_counter()
+                loss.backward(free_graph=self.free_graph)
+                phases["backward"] += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                if self.fused:
+                    opt.step(max_grad_norm=5.0)
+                else:
+                    nn.clip_grad_norm(model.parameters(), 5.0)
+                    opt.step()
+                phases["optimizer"] += time.perf_counter() - t0
+                train_losses.append(loss.item())
+                steps += 1
+            model.eval()
+            t0 = time.perf_counter()
+            val_loss = self._validation_loss(model, prepared, val_idx, targets)
+            phases["validation"] += time.perf_counter() - t0
+            stats = EpochStats(epoch, float(np.mean(train_losses)), val_loss)
+            history.append(stats)
+            if verbose:
+                print(f"[circuitformer] epoch {epoch:3d} "
+                      f"train {stats.train_loss:.4f} val {stats.val_loss:.4f}")
+        self._finish_profile("circuitformer", config.circuitformer_epochs,
+                             steps, wall0, rss0, phases,
+                             prepared.bucket_histogram())
+        return history
+
+    def _epoch_batches(self, prepared: PreparedPathDataset,
+                       train_idx: np.ndarray, batch_size: int,
+                       rng: np.random.Generator):
+        """One epoch's batches, deterministic in the rng stream.
+
+        Compatibility mode consumes the rng exactly like the reference
+        loop (one ``permutation(train_idx)`` per epoch, contiguous
+        slices).  Bucketed mode permutes the row order, groups rows by
+        bucket, chunks each group, then permutes the batch list — two
+        draws per epoch, but still a pure function of the seed stream.
+        """
+        if not self.bucketed:
+            order = rng.permutation(train_idx)
+            for lo in range(0, len(order), batch_size):
+                yield order[lo:lo + batch_size]
+            return
+        shuffled = train_idx[rng.permutation(len(train_idx))]
+        batches = []
+        for rows in prepared.group_by_bucket(shuffled).values():
+            for lo in range(0, len(rows), batch_size):
+                batches.append(rows[lo:lo + batch_size])
+        for j in rng.permutation(len(batches)):
+            yield batches[j]
+
+    def _validation_loss(self, model, prepared: PreparedPathDataset,
+                         val_idx: np.ndarray, targets: np.ndarray) -> float:
+        with nn.no_grad():
+            if not self.bucketed:
+                ids, mask = prepared.slice(val_idx)
+                val_pred = model.forward(ids, mask)
+                return nn.mse_loss(val_pred, targets[val_idx]).item()
+            # Per-bucket forward passes; aggregate as sum-of-squared-errors
+            # over element count, which equals the global-batch MSE.
+            sse = 0.0
+            count = 0
+            for rows in prepared.group_by_bucket(val_idx).values():
+                ids, mask = prepared.slice(rows)
+                pred = model.forward(ids, mask).numpy()
+                err = pred - targets[rows]
+                sse += float((err * err).sum())
+                count += err.size
+            return sse / count
+
+    # ------------------------------------------------------------------ #
+    # Aggregation MLP
+    # ------------------------------------------------------------------ #
+    def prepare_design_features(self, designs, circuitformer, sampler) -> list:
+        """Sample + predict + featurize every design once.
+
+        The result can be passed to :meth:`train_aggregator` for each
+        ensemble member — ``PathSampler.sample`` reseeds per call, so
+        sharing features is bit-identical to recomputing them per member
+        while paying the Circuitformer inference cost once.
+        """
+        from ..core.aggregator import featurize_design
+
+        features = []
+        for record in designs:
+            paths = sampler.sample(record.graph)
+            preds = circuitformer.predict_paths(
+                [p.tokens for p in paths], encoding_cache=self.encoding_cache)
+            features.append(featurize_design(record.graph, preds, paths,
+                                             circuitformer.vocab))
+        return features
+
+    def train_aggregator(self, mlp, designs, circuitformer, sampler,
+                         config: TrainingConfig | None = None,
+                         verbose: bool = False, features: list | None = None) -> list[float]:
+        """Fit the Aggregation MLP on design-level labels; returns the curve.
+
+        ``features`` may carry the output of
+        :meth:`prepare_design_features` to skip the sampling + inference
+        stage (used by ``SNS.fit`` to share it across ensemble members).
+        """
+        config = config or TrainingConfig()
+        if len(designs) < 2:
+            raise ValueError(f"need at least 2 design records, got {len(designs)}")
+        rss0 = _peak_rss_kb()
+        wall0 = time.perf_counter()
+        phases = {"prepare": 0.0, "forward": 0.0, "backward": 0.0,
+                  "optimizer": 0.0}
+        rng = np.random.default_rng(config.seed + 1)
+
+        t0 = time.perf_counter()
+        if features is None:
+            features = self.prepare_design_features(designs, circuitformer, sampler)
+        labels = np.stack([d.labels for d in designs])
+
+        # Stage 1: closed-form physics calibration (area, energy, timing scale).
+        mlp.fit_physics(features, labels)
+        physics = np.stack([mlp.physics_predict(f) for f in features])
+
+        # Stage 2: the per-target residual MLPs.
+        log_inputs = np.stack([f.log_vector(p) for f, p in zip(features, physics)])
+        residuals = np.log1p(labels) - np.log1p(physics)
+        mlp.fit_scalers(log_inputs, residuals)
+        targets = (residuals - mlp.residual_mean) / mlp.residual_std
+        phases["prepare"] += time.perf_counter() - t0
+
+        params = [p for head in mlp.heads for p in head.parameters()]
+        opt_cls = nn.Adam if self.fused else nn.ReferenceAdam
+        opt = opt_cls(params, lr=config.aggregator_lr,
+                      weight_decay=config.aggregator_weight_decay)
+
+        n = len(designs)
+        curve: list[float] = []
+        steps = 0
+        for epoch in range(config.aggregator_epochs):
+            order = rng.permutation(n)
+            losses = []
+            for lo in range(0, n, config.aggregator_batch):
+                batch = order[lo:lo + config.aggregator_batch]
+                t0 = time.perf_counter()
+                total = None
+                for t in range(3):
+                    pred = mlp.forward(log_inputs[batch], t).reshape(len(batch))
+                    loss = nn.mse_loss(pred, targets[batch, t])
+                    total = loss if total is None else total + loss
+                phases["forward"] += time.perf_counter() - t0
+                opt.zero_grad()
+                t0 = time.perf_counter()
+                total.backward(free_graph=self.free_graph)
+                phases["backward"] += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                if self.fused:
+                    opt.step(max_grad_norm=5.0)
+                else:
+                    nn.clip_grad_norm(params, 5.0)
+                    opt.step()
+                phases["optimizer"] += time.perf_counter() - t0
+                losses.append(total.item() / 3.0)
+                steps += 1
+            curve.append(float(np.mean(losses)))
+            if verbose and epoch % max(1, config.aggregator_epochs // 10) == 0:
+                print(f"[aggregator] epoch {epoch:4d} loss {curve[-1]:.4f}")
+        self._finish_profile("aggregator", config.aggregator_epochs, steps,
+                             wall0, rss0, phases, {})
+        return curve
+
+    # ------------------------------------------------------------------ #
+    def _finish_profile(self, model_name: str, epochs: int, steps: int,
+                        wall0: float, rss0: int, phases: dict[str, float],
+                        bucket_rows: dict[int, int]) -> None:
+        wall = time.perf_counter() - wall0
+        profile = TrainerProfile(
+            model=model_name,
+            epochs=epochs,
+            steps=steps,
+            wall_s=wall,
+            phase_seconds=dict(phases),
+            steps_per_sec=steps / wall if wall > 0 else 0.0,
+            peak_rss_delta_kb=max(0, _peak_rss_kb() - rss0),
+            bucket_rows=dict(bucket_rows),
+            pool_stats=nn.scratch_pool.stats(),
+            encoding_stats=(self.encoding_cache.stats()
+                            if self.encoding_cache is not None else None),
+        )
+        self.last_profile = profile
+        self.profiles[model_name] = profile
