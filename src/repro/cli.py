@@ -8,6 +8,12 @@ report FILE.v     Print the full EDA-style report (worst timing paths,
                   area and power breakdowns).
 train OUT.npz     Train SNS on the bundled hardware design dataset and
                   save the model.
+datagen [OUT.json]
+                  Build the Hardware Design Dataset (synthesize all 41
+                  bundled designs), optionally in parallel
+                  (``--workers``) and against a persistent synthesis
+                  cache (``--cache-dir``); ``--profile`` prints where
+                  the wall-clock went.
 predict MODEL FILE.v [FILE2.v ...]
                   Predict one or more Verilog designs with a trained
                   model through the batched runtime (``--cache-dir``
@@ -70,6 +76,34 @@ def _cmd_train(args) -> int:
             print(profile.format())
     save_sns(sns, args.output)
     print(f"saved model to {args.output} ({len(test)} designs held out)")
+    return 0
+
+
+def _cmd_datagen(args) -> int:
+    import json
+
+    from .datagen import build_design_dataset_profiled
+    from .designs import standard_designs
+    from .synth import Synthesizer
+
+    workers = None if args.workers == 0 else args.workers
+    synth = Synthesizer(effort=args.effort)
+    records, profile = build_design_dataset_profiled(
+        standard_designs(), synth, max_nodes=args.max_nodes,
+        num_workers=workers, cache_dir=args.cache_dir)
+    for record in records:
+        print(f"{record.name:24s} {record.timing_ps:9.1f} ps "
+              f"{record.area_um2:12.1f} um2 {record.power_mw:10.3f} mW")
+    print(f"[{len(records)} designs in {profile.wall_s:.2f}s]")
+    if args.profile:
+        print(profile.format())
+    if args.output:
+        rows = [{"name": r.name, "family": r.family,
+                 "num_nodes": r.graph.num_nodes, "timing_ps": r.timing_ps,
+                 "area_um2": r.area_um2, "power_mw": r.power_mw}
+                for r in records]
+        Path(args.output).write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -162,6 +196,22 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--profile", action="store_true",
                          help="print per-phase training timing/allocation profiles")
     p_train.set_defaults(fn=_cmd_train)
+
+    p_datagen = sub.add_parser("datagen",
+                               help="build the hardware design dataset")
+    p_datagen.add_argument("output", nargs="?",
+                           help="optional JSON file for the labeled rows")
+    p_datagen.add_argument("--effort", default="medium",
+                           choices=("low", "medium", "high"))
+    p_datagen.add_argument("--workers", type=int, default=1,
+                           help="process-pool size (0 = CPU count)")
+    p_datagen.add_argument("--cache-dir", default=None,
+                           help="persist the synthesis cache to this directory")
+    p_datagen.add_argument("--max-nodes", type=int, default=None,
+                           help="skip designs larger than this many nodes")
+    p_datagen.add_argument("--profile", action="store_true",
+                           help="print per-design timing and cache statistics")
+    p_datagen.set_defaults(fn=_cmd_datagen)
 
     p_pred = sub.add_parser("predict", help="predict with a trained model")
     p_pred.add_argument("model")

@@ -54,8 +54,10 @@ def augment_path_dataset(sampled: list[PathRecord],
         generated.extend(gan.generate(config.seqgan_paths, exclude=seen))
 
     out = list(sampled)
-    for tokens in generated:
-        label = synthesizer.synthesize_path(list(tokens))
+    # Batched labeling of the synthetic paths — bit-identical to calling
+    # synthesize_path once per generated sequence.
+    labels = synthesizer.synthesize_path_batch([list(t) for t in generated])
+    for tokens, label in zip(generated, labels):
         out.append(PathRecord(
             tokens=tokens,
             timing_ps=label.timing_ps,

@@ -11,7 +11,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,7 +28,9 @@ if TYPE_CHECKING:  # avoid a circular import with repro.core at runtime
 __all__ = [
     "DesignRecord",
     "PathRecord",
+    "DatagenProfile",
     "build_design_dataset",
+    "build_design_dataset_profiled",
     "sample_path_dataset",
     "train_test_split_by_family",
 ]
@@ -63,30 +66,91 @@ class PathRecord:
         return np.array([self.timing_ps, self.area_um2, self.power_mw])
 
 
+@dataclass(frozen=True)
+class DatagenProfile:
+    """Observability report for one ``build_design_dataset`` run.
+
+    Mirrors the trainer's ``TrainerProfile`` pattern: the builder records
+    where the wall-clock went (per-design synthesis seconds, cache
+    hit/miss counts, worker fan-out) so dataset-generation regressions
+    show up as numbers rather than vague slowness.
+    """
+
+    num_designs: int
+    num_workers: int
+    wall_s: float
+    synth_seconds: dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def designs_per_sec(self) -> float:
+        return self.num_designs / self.wall_s if self.wall_s > 0 else 0.0
+
+    def format(self) -> str:
+        lines = [f"[datagen] {self.num_designs} designs in {self.wall_s:.2f}s "
+                 f"({self.designs_per_sec:.2f} designs/s), "
+                 f"{self.num_workers} worker(s)"]
+        if self.cache_hits or self.cache_misses:
+            total = self.cache_hits + self.cache_misses
+            lines.append(f"  cache      {self.cache_hits} hits / "
+                         f"{self.cache_misses} misses "
+                         f"({100.0 * self.cache_hits / total:.0f}% hit rate)")
+        for name, secs in sorted(self.synth_seconds.items(),
+                                 key=lambda kv: -kv[1])[:8]:
+            lines.append(f"  {name:<24s} {secs:8.3f}s")
+        return "\n".join(lines)
+
+
 def build_design_dataset(entries: list[DesignEntry],
                          synthesizer: Synthesizer | None = None,
-                         max_nodes: int | None = None) -> list[DesignRecord]:
+                         max_nodes: int | None = None,
+                         num_workers: int | None = 1,
+                         cache_dir=None) -> list[DesignRecord]:
     """Elaborate and synthesize each registry entry into a dataset row.
 
     ``max_nodes`` optionally skips designs whose elaborated GraphIR
     exceeds the budget (useful for fast test configurations).
+
+    ``num_workers`` fans the per-entry elaborate+synthesize out over a
+    process pool (``num_workers=None`` uses the CPU count); records are
+    merged back in registry order, bit-identical to the serial builder.
+    ``cache_dir`` enables the disk-tier
+    :class:`repro.synth.cache.SynthesisCache`, keyed on graph structure
+    x library x effort, so rebuilds replay labels instead of
+    re-synthesizing.
     """
-    synthesizer = synthesizer or Synthesizer(effort="medium")
-    records = []
-    for entry in entries:
-        graph = entry.module.elaborate()
-        if max_nodes is not None and graph.num_nodes > max_nodes:
-            continue
-        result = synthesizer.synthesize(graph)
-        records.append(DesignRecord(
-            name=entry.name,
-            family=entry.family,
-            graph=graph,
-            timing_ps=result.timing_ps,
-            area_um2=result.area_um2,
-            power_mw=result.power_mw,
-        ))
+    records, _ = build_design_dataset_profiled(
+        entries, synthesizer=synthesizer, max_nodes=max_nodes,
+        num_workers=num_workers, cache_dir=cache_dir)
     return records
+
+
+def build_design_dataset_profiled(
+        entries: list[DesignEntry],
+        synthesizer: Synthesizer | None = None,
+        max_nodes: int | None = None,
+        num_workers: int | None = 1,
+        cache_dir=None) -> tuple[list[DesignRecord], DatagenProfile]:
+    """:func:`build_design_dataset` plus a :class:`DatagenProfile`."""
+    from ..runtime.parallel import parallel_build_design_dataset
+
+    start = time.perf_counter()
+    records, per_entry, workers = parallel_build_design_dataset(
+        entries, synthesizer=synthesizer, max_nodes=max_nodes,
+        num_workers=num_workers, cache_dir=cache_dir)
+    wall = time.perf_counter() - start
+    kept = {r.name for r in records}
+    profile = DatagenProfile(
+        num_designs=len(records),
+        num_workers=workers,
+        wall_s=wall,
+        synth_seconds={name: secs for name, secs, _ in per_entry
+                       if name in kept},
+        cache_hits=sum(1 for _, _, hit in per_entry if hit is True),
+        cache_misses=sum(1 for _, _, hit in per_entry if hit is False),
+    )
+    return records, profile
 
 
 def sample_path_dataset(records: list[DesignRecord],
@@ -115,20 +179,22 @@ def sample_path_dataset(records: list[DesignRecord],
         sampler = PathSampler()
     synthesizer = synthesizer or Synthesizer(effort="medium")
     seen: set[tuple[str, ...]] = set()
-    out: list[PathRecord] = []
+    unique: list[tuple[str, ...]] = []
     for record in records:
         for path in sampler.sample(record.graph):
             if path.tokens in seen:
                 continue
             seen.add(path.tokens)
-            label = synthesizer.synthesize_path(list(path.tokens))
-            out.append(PathRecord(
-                tokens=path.tokens,
-                timing_ps=label.timing_ps,
-                area_um2=label.area_um2,
-                power_mw=label.power_mw,
-            ))
-    return out
+            unique.append(path.tokens)
+    # One batched labeling call over the deduped paths (first-seen order
+    # preserved) — bit-identical to per-path synthesize_path.
+    labels = synthesizer.synthesize_path_batch([list(t) for t in unique])
+    return [PathRecord(
+        tokens=tokens,
+        timing_ps=label.timing_ps,
+        area_um2=label.area_um2,
+        power_mw=label.power_mw,
+    ) for tokens, label in zip(unique, labels)]
 
 
 def train_test_split_by_family(records: list[DesignRecord], train_fraction: float = 0.5,

@@ -60,11 +60,20 @@ class AccuracyReport:
         )
 
 
-def build_dataset(settings: ExperimentSettings = FAST) -> list[DesignRecord]:
-    """Synthesize the 41-design Hardware Design Dataset (Table 4)."""
+def build_dataset(settings: ExperimentSettings = FAST,
+                  num_workers: int | None = 1,
+                  cache_dir=None) -> list[DesignRecord]:
+    """Synthesize the 41-design Hardware Design Dataset (Table 4).
+
+    ``num_workers``/``cache_dir`` pass through to
+    :func:`repro.datagen.build_design_dataset` (process-pool fan-out and
+    the disk-tier synthesis cache); the records are bit-identical either
+    way.
+    """
     synth = Synthesizer(effort=settings.synth_effort)
     return build_design_dataset(standard_designs(), synth,
-                                max_nodes=settings.max_design_nodes)
+                                max_nodes=settings.max_design_nodes,
+                                num_workers=num_workers, cache_dir=cache_dir)
 
 
 def fit_sns(train: list[DesignRecord], settings: ExperimentSettings = FAST) -> SNS:

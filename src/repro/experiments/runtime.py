@@ -67,13 +67,20 @@ class RuntimeReport:
 
 def runtime_comparison(sns: SNS, records: list[DesignRecord],
                        synth_effort: str = "high",
-                       desktop_factor: float = 1.0) -> RuntimeReport:
+                       desktop_factor: float = 1.0,
+                       synth_engine: str = "reference") -> RuntimeReport:
     """Wall-clock SNS vs synthesizer on each design.
 
     ``desktop_factor > 1`` slows the SNS side to model the desktop
     platform of Table 9 (the synthesizer stays on the 'server').
+
+    ``synth_engine`` defaults to ``"reference"``: this experiment *is*
+    the Figure 7 measurement of how slow conventional synthesis is, so
+    the timed oracle stays the original per-cell implementation.  Pass
+    ``"array"`` to instead time the vectorized engine (bit-identical
+    labels, smaller speedups).
     """
-    synthesizer = Synthesizer(effort=synth_effort)
+    synthesizer = Synthesizer(effort=synth_effort, engine=synth_engine)
     rows = []
     for record in records:
         start = time.perf_counter()

@@ -107,11 +107,22 @@ class Vocabulary:
 
     @classmethod
     def standard(cls) -> "Vocabulary":
-        names = []
-        for node_type in NODE_TYPES:
-            for width in _allowed_widths(node_type):
-                names.append(f"{node_type}{width}")
-        return cls(tokens=tuple(names))
+        """The shared 79-token Table 1 vocabulary.
+
+        Returns a cached singleton: the instance is immutable and its
+        lazily-built lookup tables are expensive enough that per-call
+        reconstruction showed up in path-labeling profiles.  Callers that
+        need an independent instance can construct ``Vocabulary(tokens=...)``
+        directly.
+        """
+        global _STANDARD_VOCAB
+        if _STANDARD_VOCAB is None:
+            names = []
+            for node_type in NODE_TYPES:
+                for width in _allowed_widths(node_type):
+                    names.append(f"{node_type}{width}")
+            _STANDARD_VOCAB = cls(tokens=tuple(names))
+        return _STANDARD_VOCAB
 
     def __len__(self) -> int:
         return len(self.tokens) + self.NUM_SPECIAL
@@ -188,4 +199,7 @@ class Vocabulary:
         return [self.token_of(i) for i in ids]
 
     def __contains__(self, token: str) -> bool:
-        return token in self.tokens
+        return token in self._lookup
+
+
+_STANDARD_VOCAB: Vocabulary | None = None

@@ -10,8 +10,9 @@ Layers a batched, cached serving engine over the core SNS predictor:
   in-place optimizer steps, graph-freeing backward, and epoch-persistent
   encodings (:class:`PreparedPathDataset` / :class:`EncodingCache`),
   reporting per-phase :class:`TrainerProfile` timings.
-- :func:`parallel_sample_path_dataset` — process-pool label generation
-  for the Circuit Path Dataset.
+- :func:`parallel_sample_path_dataset` /
+  :func:`parallel_build_design_dataset` — process-pool label generation
+  for the Circuit Path and Hardware Design Datasets.
 - Fingerprint helpers for cache keying and invalidation.
 """
 
@@ -21,10 +22,12 @@ from .fingerprint import (
     cache_key,
     fingerprint_activity,
     fingerprint_graph,
+    fingerprint_library,
     fingerprint_model,
     fingerprint_sampler,
 )
-from .parallel import derive_design_seed, parallel_sample_path_dataset
+from .parallel import (derive_design_seed, parallel_build_design_dataset,
+                       parallel_sample_path_dataset)
 from .trainer import (EncodingCache, PreparedPathDataset, TrainerProfile,
                       TrainingEngine)
 
@@ -33,6 +36,7 @@ __all__ = [
     "PredictionCache", "CacheStats",
     "TrainingEngine", "PreparedPathDataset", "EncodingCache", "TrainerProfile",
     "cache_key", "fingerprint_activity", "fingerprint_graph",
-    "fingerprint_model", "fingerprint_sampler",
+    "fingerprint_library", "fingerprint_model", "fingerprint_sampler",
     "derive_design_seed", "parallel_sample_path_dataset",
+    "parallel_build_design_dataset",
 ]

@@ -25,6 +25,7 @@ __all__ = [
     "fingerprint_model",
     "fingerprint_sampler",
     "fingerprint_activity",
+    "fingerprint_library",
     "cache_key",
 ]
 
@@ -137,6 +138,29 @@ def fingerprint_sampler(sampler) -> str:
                           "max_paths": sampler.max_paths, "seed": sampler.seed},
                          sort_keys=True)
     return hashlib.sha256(b"sampler:v1" + payload.encode()).hexdigest()
+
+
+def fingerprint_library(library) -> str:
+    """SHA-256 over a :class:`~repro.synth.library.TechLibrary`'s cost basis.
+
+    Covers every unit-cost knob the library exposes (gate area/delay/
+    energy/leakage plus the flip-flop constants); two libraries with the
+    same knobs produce identical labels, so they share cache entries
+    regardless of their names... except the name *is* included — named
+    libraries are calibration points and renames are rare, while silently
+    sharing entries across differently-named libraries would make cache
+    bugs invisible.
+    """
+    payload = json.dumps({
+        "name": library.name,
+        "gate_area": library.gate_area,
+        "gate_delay": library.gate_delay,
+        "gate_energy": library.gate_energy,
+        "gate_leakage": library.gate_leakage,
+        "dff_setup": library.dff_setup,
+        "dff_clk_q": library.dff_clk_q,
+    }, sort_keys=True)
+    return hashlib.sha256(b"library:v1" + payload.encode()).hexdigest()
 
 
 def fingerprint_activity(activity: dict[int, float] | None) -> str:

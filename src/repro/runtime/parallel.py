@@ -1,12 +1,20 @@
-"""Process-pool parallelism for the embarrassingly-parallel labeling path.
+"""Process-pool parallelism for the embarrassingly-parallel labeling paths.
 
-Building the Circuit Path Dataset (Table 5) spends almost all its time
-in per-design work — path sampling plus one reference-synthesizer run
-per sampled path — with no cross-design dependency except final dedup.
-``parallel_sample_path_dataset`` fans designs out over a process pool
-and merges worker outputs back in deterministic design order, so the
-result is bit-identical to the serial builder regardless of worker
-count or scheduling.
+Building either dataset spends almost all its time in per-design work
+with no cross-design dependency except final merge order:
+
+- Circuit Path Dataset (Table 5): path sampling plus one synthesizer
+  run per sampled path.  ``parallel_sample_path_dataset`` fans designs
+  out over a process pool and merges worker outputs back in
+  deterministic design order, so the result is bit-identical to the
+  serial builder regardless of worker count or scheduling.
+- Hardware Design Dataset (Table 4): one elaborate + synthesize per
+  registry entry.  ``parallel_build_design_dataset`` uses the same
+  ordered-map-with-serial-fallback shape, and additionally routes each
+  entry through the disk-tier :class:`repro.synth.cache.SynthesisCache`
+  when a ``cache_dir`` is given — workers share labels through the disk
+  tier (atomic JSON writes), so concurrent duplicate synthesis is at
+  worst wasted work, never corruption.
 
 Seeding is deterministic per design: by default every design samples
 with the sampler's own seed (exactly matching the serial builder); with
@@ -18,13 +26,15 @@ while staying reproducible and order-independent.
 from __future__ import annotations
 
 import os
+import time
 import zlib
 from dataclasses import replace
 
 from ..datagen.dataset import DesignRecord, PathRecord
 from ..synth import Synthesizer
 
-__all__ = ["derive_design_seed", "parallel_sample_path_dataset"]
+__all__ = ["derive_design_seed", "parallel_sample_path_dataset",
+           "parallel_build_design_dataset"]
 
 
 def derive_design_seed(base_seed: int, design_name: str) -> int:
@@ -42,15 +52,16 @@ def _label_one_design(args) -> list[PathRecord]:
     if seed is not None:
         sampler = replace(sampler, seed=seed)
     seen: set[tuple[str, ...]] = set()
-    out: list[PathRecord] = []
+    unique: list[tuple[str, ...]] = []
     for path in sampler.sample(record.graph):
         if path.tokens in seen:
             continue
         seen.add(path.tokens)
-        label = synthesizer.synthesize_path(list(path.tokens))
-        out.append(PathRecord(tokens=path.tokens, timing_ps=label.timing_ps,
-                              area_um2=label.area_um2, power_mw=label.power_mw))
-    return out
+        unique.append(path.tokens)
+    labels = synthesizer.synthesize_path_batch([list(t) for t in unique])
+    return [PathRecord(tokens=tokens, timing_ps=label.timing_ps,
+                       area_um2=label.area_um2, power_mw=label.power_mw)
+            for tokens, label in zip(unique, labels)]
 
 
 def parallel_sample_path_dataset(records: list[DesignRecord],
@@ -101,3 +112,96 @@ def parallel_sample_path_dataset(records: list[DesignRecord],
             seen.add(path_record.tokens)
             merged.append(path_record)
     return merged
+
+
+# ---------------------------------------------------------------------- #
+# Hardware Design Dataset fan-out
+# ---------------------------------------------------------------------- #
+
+# One SynthesisCache per cache directory per process: worker processes
+# are reused across map items, so the memory tier amortizes repeated
+# disk reads within a worker while the disk tier shares across workers.
+_SYNTH_CACHES: dict[str, object] = {}
+
+
+def _design_cache(cache_dir):
+    if cache_dir is None:
+        return None
+    key = str(cache_dir)
+    cache = _SYNTH_CACHES.get(key)
+    if cache is None:
+        from ..synth.cache import SynthesisCache
+
+        cache = _SYNTH_CACHES[key] = SynthesisCache(disk_dir=cache_dir)
+    return cache
+
+
+def _synthesize_one_entry(args):
+    """Worker: elaborate + synthesize (or cache-replay) one registry entry.
+
+    Returns ``(record_or_None, seconds, hit)`` where ``record`` is None
+    for entries skipped by ``max_nodes`` and ``hit`` is None when no
+    cache is configured (or the entry was skipped), else True/False.
+    """
+    entry, synthesizer, max_nodes, cache_dir = args
+    start = time.perf_counter()
+    graph = entry.module.elaborate()
+    if max_nodes is not None and graph.num_nodes > max_nodes:
+        return None, time.perf_counter() - start, None
+    cache = _design_cache(cache_dir)
+    result = None
+    hit = None
+    if cache is not None:
+        result = cache.get(graph, synthesizer.library, synthesizer.effort)
+        hit = result is not None
+    if result is None:
+        result = synthesizer.synthesize(graph)
+        if cache is not None:
+            cache.put(graph, synthesizer.library, synthesizer.effort, result)
+    record = DesignRecord(
+        name=entry.name,
+        family=entry.family,
+        graph=graph,
+        timing_ps=result.timing_ps,
+        area_um2=result.area_um2,
+        power_mw=result.power_mw,
+    )
+    return record, time.perf_counter() - start, hit
+
+
+def parallel_build_design_dataset(entries,
+                                  synthesizer: Synthesizer | None = None,
+                                  max_nodes: int | None = None,
+                                  num_workers: int | None = None,
+                                  cache_dir=None):
+    """Fan :func:`repro.datagen.dataset.build_design_dataset` over a pool.
+
+    Workers are mapped in entry order and merged in entry order, so the
+    record list is bit-identical to the serial builder.  Returns
+    ``(records, per_entry, num_workers)`` where ``per_entry`` holds one
+    ``(name, seconds, hit)`` triple per registry entry (including
+    ``max_nodes``-skipped ones, with ``hit=None``) for profiling.
+    ``num_workers=None`` uses the CPU count; pool failures fall back to
+    in-process execution with identical output.
+    """
+    synthesizer = synthesizer or Synthesizer(effort="medium")
+    if num_workers is None:
+        num_workers = os.cpu_count() or 1
+    num_workers = max(1, min(num_workers, len(entries))) if entries else 1
+
+    jobs = [(entry, synthesizer, max_nodes, cache_dir) for entry in entries]
+    if num_workers > 1:
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=num_workers) as pool:
+                results = list(pool.map(_synthesize_one_entry, jobs))
+        except Exception:
+            results = [_synthesize_one_entry(job) for job in jobs]
+    else:
+        results = [_synthesize_one_entry(job) for job in jobs]
+
+    records = [record for record, _, _ in results if record is not None]
+    per_entry = [(entry.name, seconds, hit)
+                 for entry, (_, seconds, hit) in zip(entries, results)]
+    return records, per_entry, num_workers

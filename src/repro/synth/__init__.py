@@ -11,7 +11,11 @@ from .netlist import MappedCell, MappedNetlist
 from .passes import common_subexpression_elimination, mac_fusion, buffer_insertion
 from .timing import TimingReport, static_timing_analysis
 from .power import total_area, total_power, DEFAULT_COMB_ACTIVITY, DEFAULT_SEQ_ACTIVITY
-from .synthesizer import SynthesisResult, PathResult, Synthesizer, path_to_graph, EFFORT_PASSES
+from .synthesizer import (SynthesisResult, PathResult, Synthesizer,
+                          path_to_graph, EFFORT_PASSES, SYNTH_ENGINES)
+from .engine import (CompiledNetlist, compile_netlist, array_sta,
+                     size_gates_array, synthesize_path_batch)
+from .cache import SynthesisCache, synthesis_cache_key
 from .scaling import NODE_FACTORS, scale_value, scale_result, ScaledResult
 from .report import TimingPath, AreaLine, PowerLine, SynthesisReport, analyze
 from .retiming import retime_backward
@@ -22,7 +26,11 @@ __all__ = [
     "common_subexpression_elimination", "mac_fusion", "buffer_insertion",
     "TimingReport", "static_timing_analysis",
     "total_area", "total_power", "DEFAULT_COMB_ACTIVITY", "DEFAULT_SEQ_ACTIVITY",
-    "SynthesisResult", "PathResult", "Synthesizer", "path_to_graph", "EFFORT_PASSES",
+    "SynthesisResult", "PathResult", "Synthesizer", "path_to_graph",
+    "EFFORT_PASSES", "SYNTH_ENGINES",
+    "CompiledNetlist", "compile_netlist", "array_sta", "size_gates_array",
+    "synthesize_path_batch",
+    "SynthesisCache", "synthesis_cache_key",
     "NODE_FACTORS", "scale_value", "scale_result", "ScaledResult",
     "TimingPath", "AreaLine", "PowerLine", "SynthesisReport", "analyze",
     "retime_backward",

@@ -1,0 +1,108 @@
+"""Disk-tier memoization of design-level synthesis results.
+
+A synthesized label is a pure function of four inputs: the elaborated
+graph structure, the technology library's cost basis, the effort level,
+and the optional register-activity map.  :func:`synthesis_cache_key`
+hashes exactly those four (reusing the PR-1 fingerprint infrastructure),
+so a dataset rebuild after an unrelated code change — or from a sibling
+process in the ``build_design_dataset`` worker pool — replays labels
+from disk instead of re-synthesizing.
+
+The store itself is :class:`repro.runtime.cache.PredictionCache` (memory
+LRU + atomic-write JSON disk tier); this module only adds the synthesis
+key schema and SynthesisResult (de)hydration.  ``repro.runtime`` is
+imported lazily inside functions: the import chain runtime -> core ->
+synth would otherwise turn a module-level import into a cycle.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from .synthesizer import SynthesisResult
+
+__all__ = ["SynthesisCache", "synthesis_cache_key"]
+
+
+def synthesis_cache_key(graph, library, effort: str,
+                        activity: dict[int, float] | None = None) -> str:
+    """Content-addressed key for one design-level synthesis run."""
+    from ..runtime.fingerprint import (fingerprint_activity, fingerprint_graph,
+                                       fingerprint_library)
+
+    h = hashlib.sha256(b"synth:v1")
+    for part in (fingerprint_graph(graph), fingerprint_library(library),
+                 effort, fingerprint_activity(activity)):
+        h.update(part.encode())
+        h.update(b"|")
+    return h.hexdigest()
+
+
+class SynthesisCache:
+    """Two-tier store mapping (graph, library, effort, activity) to labels.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity.
+    disk_dir:
+        Optional persistent tier shared across processes — this is what
+        lets ``build_design_dataset`` workers and later rebuilds reuse
+        each other's synthesis runs.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 disk_dir: str | Path | None = None):
+        from ..runtime.cache import PredictionCache
+
+        self._store = PredictionCache(max_entries=max_entries, disk_dir=disk_dir)
+
+    @property
+    def stats(self):
+        """Hit/miss counters (``repro.runtime.cache.CacheStats``)."""
+        return self._store.stats
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # ------------------------------------------------------------------ #
+    def get(self, graph, library, effort: str,
+            activity: dict[int, float] | None = None) -> SynthesisResult | None:
+        """Return the cached result for this configuration, or ``None``.
+
+        The graph fingerprint excludes the design *name*, so structurally
+        identical designs share one entry; the returned result is
+        re-stamped with the querying graph's name.
+        """
+        value = self._store.get(synthesis_cache_key(graph, library, effort,
+                                                    activity))
+        if value is None:
+            return None
+        return SynthesisResult(
+            design=graph.name,
+            timing_ps=value["timing_ps"],
+            area_um2=value["area_um2"],
+            power_mw=value["power_mw"],
+            num_cells=value["num_cells"],
+            gate_count=value["gate_count"],
+            runtime_s=value["runtime_s"],
+        )
+
+    def put(self, graph, library, effort: str, result: SynthesisResult,
+            activity: dict[int, float] | None = None) -> None:
+        """Store one synthesis outcome (``runtime_s`` keeps the original
+        synthesis cost, so cached replays still report what a fresh run
+        would have paid)."""
+        self._store.put(
+            synthesis_cache_key(graph, library, effort, activity),
+            {
+                "design": result.design,
+                "timing_ps": result.timing_ps,
+                "area_um2": result.area_um2,
+                "power_mw": result.power_mw,
+                "num_cells": result.num_cells,
+                "gate_count": result.gate_count,
+                "runtime_s": result.runtime_s,
+            },
+        )

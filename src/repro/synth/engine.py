@@ -1,0 +1,476 @@
+"""The array-compiled synthesis engine.
+
+The reference synthesizer walks dict-of-sets netlists cell by cell: one
+:func:`~repro.synth.timing.static_timing_analysis` pass is ~10 Python
+bytecode operations and two library calls per cell, and the gate-sizing
+loop repeats it up to 30 times per design.  This module compiles a
+:class:`~repro.synth.netlist.MappedNetlist` **once** into flat numpy
+form and replays the same computation as vectorized sweeps:
+
+- :class:`CompiledNetlist` — int-coded cell table (base delay vector
+  gathered from the :class:`~repro.synth.library.TechLibrary`,
+  sequential mask, setup constants), CSR predecessor arrays, the
+  combinational topo order partitioned into levels, and a flattened
+  capture-candidate list in the reference's exact evaluation order.
+- :meth:`CompiledNetlist.sweep` — one STA as a level-by-level
+  ``gather / segmented-max / add`` sweep.  Between gate-sizing
+  iterations only the ``delay_scale`` vector changes, so re-running STA
+  is *incremental*: no topo sort, no library calls, no dict traffic.
+- :func:`array_sta` / :func:`size_gates_array` — drop-in replacements
+  for the reference STA and sizing loop.
+- :func:`synthesize_path_batch` — labels many token chains in one shot:
+  per-token cost tables are gathered once per library, MAC fusion is a
+  vectorized adjacent-pair rewrite, and arrival/area/power reduce to
+  cumulative sweeps across the batch (position-by-position, so each
+  path's float operation sequence is exactly the serial one).
+
+Every output is **bit-identical** to the reference implementations —
+same IEEE-754 operations in the same order, same tie-breaking (first
+maximum wins), same combinational-loop errors.  The reference paths are
+kept as parity oracles, mirroring the ``train_*_reference`` pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphir import SEQUENTIAL_TYPES, Vocabulary, parse_token
+from .library import TechLibrary
+from .netlist import MappedNetlist
+from .power import DEFAULT_COMB_ACTIVITY, DEFAULT_SEQ_ACTIVITY
+from .timing import TimingReport
+
+__all__ = ["CompiledNetlist", "compile_netlist", "array_sta",
+           "size_gates_array", "synthesize_path_batch"]
+
+
+# ---------------------------------------------------------------------- #
+# Design-level STA: compile once, sweep per sizing iteration
+# ---------------------------------------------------------------------- #
+@dataclass
+class _Level:
+    """One topo level: cells plus their predecessor CSR slice."""
+
+    cells: np.ndarray        # cell indices at this level
+    flat_preds: np.ndarray   # concatenated predecessor indices
+    starts: np.ndarray       # reduceat segment starts into flat_preds
+
+
+class CompiledNetlist:
+    """A :class:`MappedNetlist` flattened into arrays for repeated STA.
+
+    The compile captures everything that is invariant across gate-sizing
+    iterations; :meth:`sweep` takes only the per-cell ``delay_scale``
+    vector.  Cell order is the netlist dict order, predecessor order is
+    each ``pred`` set's iteration order — both frozen at compile time so
+    tie-breaks replay the reference exactly.
+    """
+
+    def __init__(self, net: MappedNetlist, library: TechLibrary):
+        self.net = net
+        self.library = library
+        self.ids: list[int] = list(net.cells)
+        index = {cid: i for i, cid in enumerate(self.ids)}
+        cells = [net.cells[cid] for cid in self.ids]
+        self.cells = cells
+        n = len(cells)
+        self.num_cells = n
+
+        self.base_delay = np.array(
+            [library.cost(c.cell_type, c.width).delay for c in cells], np.float64)
+        self.is_seq = np.array([c.is_sequential for c in cells], bool)
+        self.pred_lists: list[list[int]] = [
+            [index[p] for p in net.pred[cid]] for cid in self.ids]
+
+        # Longest-path level assignment over the register-cut DAG; raises
+        # the reference's combinational-loop error verbatim.
+        indeg = [0 if c.is_sequential else len(pl)
+                 for c, pl in zip(cells, self.pred_lists)]
+        succ_comb: list[list[int]] = [
+            [index[s] for s in net.succ[cid] if not net.cells[s].is_sequential]
+            for cid in self.ids]
+        level = [0] * n
+        frontier = [i for i in range(n) if indeg[i] == 0]
+        seen = 0
+        while frontier:
+            i = frontier.pop()
+            seen += 1
+            li = level[i] + 1
+            for j in succ_comb[i]:
+                if li > level[j]:
+                    level[j] = li
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    frontier.append(j)
+        if seen != n:
+            raise ValueError(
+                f"combinational loop detected in {net.name!r}: "
+                f"{n - seen} cells unreachable in topo order")
+
+        self.levels: list[_Level] = []
+        if n:
+            by_level: dict[int, list[int]] = {}
+            for i, lv in enumerate(level):
+                if lv > 0:
+                    by_level.setdefault(lv, []).append(i)
+            for lv in sorted(by_level):
+                members = by_level[lv]
+                starts, flat, off = [], [], 0
+                for i in members:
+                    starts.append(off)
+                    flat.extend(self.pred_lists[i])
+                    off += len(self.pred_lists[i])
+                self.levels.append(_Level(
+                    cells=np.asarray(members, np.int64),
+                    flat_preds=np.asarray(flat, np.int64),
+                    starts=np.asarray(starts, np.int64)))
+
+        # Capture candidates, flattened in the reference's evaluation
+        # order: cells in dict order; a sequential cell contributes one
+        # candidate per predecessor (arrival[p] + setup), a sink
+        # combinational cell contributes its own arrival.
+        cap_src, cap_add, cap_endpoint, cap_via = [], [], [], []
+        for i, (cid, c) in enumerate(zip(self.ids, cells)):
+            if c.is_sequential:
+                setup = library.dff_setup if c.cell_type == "dff" else 0.0
+                for p in self.pred_lists[i]:
+                    cap_src.append(p)
+                    cap_add.append(setup)
+                    cap_endpoint.append(i)
+                    cap_via.append(True)
+            elif not net.succ[cid]:
+                cap_src.append(i)
+                cap_add.append(0.0)
+                cap_endpoint.append(i)
+                cap_via.append(False)
+        self.cap_src = np.asarray(cap_src, np.int64)
+        self.cap_add = np.asarray(cap_add, np.float64)
+        self.cap_endpoint = cap_endpoint
+        self.cap_via = cap_via
+
+    # ------------------------------------------------------------------ #
+    def delay_scales(self) -> np.ndarray:
+        """The current per-cell ``delay_scale`` vector (compile order)."""
+        return np.array([c.delay_scale for c in self.cells], np.float64)
+
+    def area_scales(self) -> np.ndarray:
+        return np.array([c.area_scale for c in self.cells], np.float64)
+
+    def writeback_scales(self, delay_scale: np.ndarray,
+                         area_scale: np.ndarray) -> None:
+        """Push sized scale vectors back onto the mutable netlist cells."""
+        for i, c in enumerate(self.cells):
+            c.delay_scale = float(delay_scale[i])
+            c.area_scale = float(area_scale[i])
+
+    # ------------------------------------------------------------------ #
+    def _best_pred(self, i: int, arr: np.ndarray) -> int | None:
+        """First predecessor realizing the worst arrival (reference tie-break)."""
+        if self.is_seq[i] or not self.pred_lists[i]:
+            return None
+        preds = self.pred_lists[i]
+        best = preds[0]
+        worst = arr[best]
+        for p in preds[1:]:
+            if arr[p] > worst:
+                worst = arr[p]
+                best = p
+        return best
+
+    def sweep(self, delay_scale: np.ndarray
+              ) -> tuple[float, list[int], np.ndarray]:
+        """One STA pass: ``(critical period, critical index chain, arrival)``.
+
+        Arrival is computed level by level: gather predecessor arrivals,
+        segmented max, add each cell's own scaled delay — the identical
+        float operations the reference performs per cell.
+        """
+        own = self.base_delay * delay_scale
+        arr = own.copy()  # level-0 cells: launch points and sources
+        for lv in self.levels:
+            worst = np.maximum.reduceat(arr[lv.flat_preds], lv.starts)
+            arr[lv.cells] = worst + own[lv.cells]
+
+        chain: list[int] = []
+        if self.cap_src.size:
+            cand = arr[self.cap_src] + self.cap_add
+            k = int(np.argmax(cand))  # first max wins, like the strict-> loop
+            critical = float(cand[k])
+            if critical > 0.0:
+                endpoint = self.cap_endpoint[k]
+                cursor = (int(self.cap_src[k]) if self.cap_via[k]
+                          else self._best_pred(endpoint, arr))
+                chain.append(endpoint)
+                while cursor is not None:
+                    chain.append(cursor)
+                    cursor = self._best_pred(cursor, arr)
+                chain.reverse()
+            else:  # degenerate: no positive candidate, like the reference
+                critical = float(arr.max()) if arr.size else 0.0
+        else:
+            critical = float(arr.max()) if arr.size else 0.0
+        return critical, chain, arr
+
+    def report(self, delay_scale: np.ndarray | None = None) -> TimingReport:
+        """A reference-shaped :class:`TimingReport` for the current scales."""
+        if not self.num_cells:
+            return TimingReport(0.0, (), {})
+        scales = self.delay_scales() if delay_scale is None else delay_scale
+        critical, chain, arr = self.sweep(scales)
+        return TimingReport(
+            critical_path_ps=critical,
+            critical_cells=tuple(self.ids[i] for i in chain),
+            arrival=dict(zip(self.ids, arr.tolist())),
+        )
+
+
+def compile_netlist(net: MappedNetlist, library: TechLibrary) -> CompiledNetlist:
+    """Compile ``net`` for repeated vectorized STA against ``library``."""
+    return CompiledNetlist(net, library)
+
+
+def array_sta(net: MappedNetlist, library: TechLibrary) -> TimingReport:
+    """Vectorized drop-in for :func:`~repro.synth.timing.static_timing_analysis`."""
+    if not net.cells:
+        return TimingReport(0.0, (), {})
+    return compile_netlist(net, library).report()
+
+
+def size_gates_array(net: MappedNetlist, library: TechLibrary,
+                     passes: int) -> TimingReport:
+    """Incremental replay of ``Synthesizer._size_gates``.
+
+    The netlist is compiled once; each sizing iteration updates only the
+    ``delay_scale`` / ``area_scale`` vectors (the same per-cell float
+    multiplies the reference applies) and re-runs the arrival sweep.
+    Final scales are written back onto the netlist cells so downstream
+    area/power extraction sees the sized design.
+    """
+    if not net.cells:
+        return TimingReport(0.0, (), {})
+    comp = compile_netlist(net, library)
+    delay_scale = comp.delay_scales()
+    area_scale = comp.area_scales()
+    n = comp.num_cells
+    critical, chain, arr = comp.sweep(delay_scale)
+    for _ in range(passes):
+        if not chain:
+            break
+        crit_mask = np.zeros(n, bool)
+        crit_mask[chain] = True
+        up = crit_mask & (delay_scale > 0.72)
+        improved = bool(up.any())
+        relax = (~crit_mask) & (delay_scale < 1.15) & (arr < 0.5 * critical)
+        delay_scale[up] *= 0.94
+        area_scale[up] *= 1.06
+        delay_scale[relax] *= 1.02
+        area_scale[relax] *= 0.99
+        critical, chain, arr = comp.sweep(delay_scale)
+        if not improved:
+            break
+    comp.writeback_scales(delay_scale, area_scale)
+    return TimingReport(
+        critical_path_ps=critical,
+        critical_cells=tuple(comp.ids[i] for i in chain),
+        arrival=dict(zip(comp.ids, arr.tolist())),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Batched path labeling
+# ---------------------------------------------------------------------- #
+class _PathTables:
+    """Per-library cost tables over the standard 79-token vocabulary.
+
+    Row ``i`` describes vocabulary token ``i`` (``Vocabulary.standard()``
+    order); the MAC rows are indexed by log2(width).  ``dyn`` folds the
+    default activity factor into the switching energy exactly as
+    :func:`~repro.synth.power.total_power` does per cell.
+    """
+
+    def __init__(self, library: TechLibrary):
+        from .library import FREEPDK15
+
+        vocab = Vocabulary.standard()
+        self.vocab = vocab
+        parsed = [parse_token(t) for t in vocab.tokens]
+        ntok = len(parsed)
+
+        def col(fn):
+            return np.array([fn(nt, w) for nt, w in parsed], np.float64)
+
+        cost = library.cost
+        self.delay = col(lambda nt, w: cost(nt, w).delay)
+        self.area = col(lambda nt, w: cost(nt, w).area)
+        self.leak = col(lambda nt, w: cost(nt, w).leakage)
+        self.is_seq = np.array([nt in SEQUENTIAL_TYPES for nt, _ in parsed], bool)
+        self.setup = np.array(
+            [library.dff_setup if nt == "dff" else 0.0 for nt, _ in parsed],
+            np.float64)
+        self.dyn = np.array(
+            [cost(nt, w).energy
+             * (DEFAULT_SEQ_ACTIVITY if nt in SEQUENTIAL_TYPES
+                else DEFAULT_COMB_ACTIVITY * 1.0)
+             for nt, w in parsed], np.float64)
+        self.is_mul = np.array([nt == "mul" for nt, _ in parsed], bool)
+        self.is_add = np.array([nt == "add" for nt, _ in parsed], bool)
+        self.wlog = np.array([int(w).bit_length() - 1 for _, w in parsed],
+                             np.int64)
+
+        # MAC rows by log2(width); fused widths are max(w_mul, w_add),
+        # always one of the arithmetic widths 8..64.
+        max_log = int(self.wlog.max()) + 1
+        self.mac_delay = np.zeros(max_log, np.float64)
+        self.mac_area = np.zeros(max_log, np.float64)
+        self.mac_leak = np.zeros(max_log, np.float64)
+        self.mac_dyn = np.zeros(max_log, np.float64)
+        for lg in range(3, max_log):  # widths 8..64
+            c = cost("mac", 1 << lg)
+            self.mac_delay[lg] = c.delay
+            self.mac_area[lg] = c.area
+            self.mac_leak[lg] = c.leakage
+            self.mac_dyn[lg] = c.energy * (DEFAULT_COMB_ACTIVITY * 1.0)
+
+        # Fusion area guard — always evaluated against FREEPDK15, exactly
+        # like ``mac_fusion(net)`` with no library argument.
+        self.guard_ok = np.zeros((max_log, max_log), bool)
+        for lm in range(3, max_log):
+            for la in range(3, max_log):
+                wm, wa = 1 << lm, 1 << la
+                mac_area = FREEPDK15.cost("mac", max(wm, wa)).area
+                self.guard_ok[lm, la] = not (
+                    mac_area > FREEPDK15.cost("mul", wm).area
+                    + FREEPDK15.cost("add", wa).area + 1e-12)
+
+
+_PATH_TABLES: dict[int, tuple[TechLibrary, _PathTables]] = {}
+
+
+def _tables_for(library: TechLibrary) -> _PathTables:
+    entry = _PATH_TABLES.get(id(library))
+    if entry is None or entry[0] is not library:
+        entry = (library, _PathTables(library))
+        _PATH_TABLES[id(library)] = entry
+    return entry[1]
+
+
+def synthesize_path_batch(paths, library: TechLibrary) -> list:
+    """Label many token chains in one vectorized shot.
+
+    Returns one :class:`~repro.synth.synthesizer.PathResult` per input
+    chain, bit-identical to per-path
+    :meth:`~repro.synth.synthesizer.Synthesizer.synthesize_path`: MAC
+    fusion becomes a vectorized adjacent-pair rewrite (candidate pairs
+    in a chain can never overlap), and arrival/critical/area/power are
+    cumulative sweeps run position-by-position across the whole batch —
+    each path sees the exact float operation sequence of the serial
+    fold, just B lanes at a time.
+
+    Raises the reference's errors: ``ValueError`` for an empty chain,
+    ``KeyError`` for a token outside the standard vocabulary.
+    """
+    from .synthesizer import PathResult
+
+    paths = [list(p) for p in paths]
+    if not paths:
+        return []
+    tables = _tables_for(library)
+    lookup = tables.vocab._lookup
+    nspecial = Vocabulary.NUM_SPECIAL
+
+    B = len(paths)
+    L = max(len(p) for p in paths)
+    if min(len(p) for p in paths) == 0:
+        raise ValueError("a circuit path needs at least one token")
+    tok = np.zeros((B, L), np.int64)
+    valid = np.zeros((B, L), bool)
+    for b, p in enumerate(paths):
+        try:
+            tok[b, :len(p)] = [lookup[t] for t in p]
+        except KeyError as exc:
+            raise KeyError(f"token not in vocabulary: {exc.args[0]!r}") from None
+        valid[b, :len(p)] = True
+    tok -= nspecial  # vocabulary ids -> table rows
+
+    # Per-cell cost columns straight from the tables.
+    delay = tables.delay[tok]
+    area = tables.area[tok]
+    dyn = tables.dyn[tok]
+    leak = tables.leak[tok]
+    is_seq = tables.is_seq[tok] & valid
+    setup = tables.setup[tok]
+
+    # MAC fusion as an adjacent-pair rewrite: a chain candidate is
+    # (mul at p, add at p+1); candidates cannot overlap (the middle cell
+    # would have to be both), so all guarded pairs fuse independently.
+    dropped = np.zeros((B, L), bool)
+    if L >= 2:
+        wlog = tables.wlog[tok]
+        pair = (tables.is_mul[tok[:, :-1]] & valid[:, :-1]
+                & tables.is_add[tok[:, 1:]] & valid[:, 1:]
+                & tables.guard_ok[wlog[:, :-1], wlog[:, 1:]])
+        if pair.any():
+            dropped[:, :-1] = pair
+            mac_rows, mac_cols = np.nonzero(pair)
+            mac_cols = mac_cols + 1  # the add position becomes the mac
+            mac_wlog = np.maximum(wlog[mac_rows, mac_cols - 1],
+                                  wlog[mac_rows, mac_cols])
+            delay[mac_rows, mac_cols] = tables.mac_delay[mac_wlog]
+            area[mac_rows, mac_cols] = tables.mac_area[mac_wlog]
+            dyn[mac_rows, mac_cols] = tables.mac_dyn[mac_wlog]
+            leak[mac_rows, mac_cols] = tables.mac_leak[mac_wlog]
+
+    # Position-by-position sweep over the batch.  State per lane: the
+    # previous remaining cell's arrival, a running strict-> critical
+    # (first max wins), the arrival max (degenerate all-register paths),
+    # and the left-fold area/power accumulators.
+    zeros = np.zeros(B, np.float64)
+    last_arr = zeros.copy()
+    has_prev = np.zeros(B, bool)
+    crit = zeros.copy()
+    any_cand = np.zeros(B, bool)
+    run_max = zeros.copy()
+    area_sum = zeros.copy()
+    dyn_sum = zeros.copy()
+    leak_sum = zeros.copy()
+    for p in range(L):
+        live = valid[:, p] & ~dropped[:, p]
+        own = delay[:, p]
+        seq_here = is_seq[:, p]
+        arrive = np.where(seq_here | ~has_prev, own, last_arr + own)
+        # Capture at sequential cells that have a predecessor.
+        cand = last_arr + setup[:, p]
+        cand_mask = live & seq_here & has_prev
+        take = cand_mask & (cand > crit)
+        crit = np.where(take, cand, crit)
+        any_cand |= cand_mask
+        # Advance lane state.
+        last_arr = np.where(live, arrive, last_arr)
+        run_max = np.where(live & (arrive > run_max), arrive, run_max)
+        has_prev |= live
+        area_sum = area_sum + np.where(live, area[:, p], 0.0)
+        dyn_sum = dyn_sum + np.where(live, dyn[:, p], 0.0)
+        leak_sum = leak_sum + np.where(live, leak[:, p], 0.0)
+
+    # The final remaining cell, if combinational, is a sink endpoint —
+    # its candidate is evaluated last, matching the reference cell order.
+    live_all = valid & ~dropped
+    last_pos = (L - 1) - np.argmax(live_all[:, ::-1], axis=1)
+    rows = np.arange(B)
+    end_comb = ~is_seq[rows, last_pos]
+    take = end_comb & (last_arr > crit)
+    crit = np.where(take, last_arr, crit)
+    any_cand |= end_comb
+
+    critical = np.where(any_cand, crit, run_max)
+    freq = np.where(critical > 0,
+                    1000.0 / np.where(critical > 0, critical, 1.0), 0.0)
+    power = dyn_sum * freq * 1e-3 + leak_sum * 1e-6
+
+    return [PathResult(tokens=tuple(p),
+                       timing_ps=float(critical[b]),
+                       area_um2=float(area_sum[b]),
+                       power_mw=float(power[b]))
+            for b, p in enumerate(paths)]

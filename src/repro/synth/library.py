@@ -79,12 +79,25 @@ class TechLibrary:
         self.gate_leakage = gate_leakage
         self.dff_setup = _DFF_SETUP
         self.dff_clk_q = _DFF_CLK_Q
+        # Memo tables: cost()/gate_count() are pure in (type, width) for a
+        # given library, yet STA calls them once per cell per pass.  The
+        # library's unit costs are fixed at construction, so the memo
+        # never goes stale.  CellCost is frozen; callers share instances.
+        self._cost_memo: dict[tuple[str, int], CellCost] = {}
+        self._gates_memo: dict[tuple[str, int], float] = {}
 
     # ------------------------------------------------------------------ #
     # Gate-level decomposition: NAND2-equivalents and stage depth
     # ------------------------------------------------------------------ #
     def gate_count(self, node_type: str, width: int) -> float:
-        """NAND2-equivalent gates for one functional unit."""
+        """NAND2-equivalent gates for one functional unit (memoized)."""
+        key = (node_type, width)
+        cached = self._gates_memo.get(key)
+        if cached is None:
+            cached = self._gates_memo[key] = self._gate_count(node_type, width)
+        return cached
+
+    def _gate_count(self, node_type: str, width: int) -> float:
         w = max(width, 1)
         if node_type == "io":
             return 0.0
@@ -155,7 +168,14 @@ class TechLibrary:
 
     # ------------------------------------------------------------------ #
     def cost(self, node_type: str, width: int) -> CellCost:
-        """Full :class:`CellCost` of a functional unit."""
+        """Full :class:`CellCost` of a functional unit (memoized)."""
+        key = (node_type, width)
+        cached = self._cost_memo.get(key)
+        if cached is None:
+            cached = self._cost_memo[key] = self._cost(node_type, width)
+        return cached
+
+    def _cost(self, node_type: str, width: int) -> CellCost:
         w = max(width, 1)
         if node_type == "dff":
             return CellCost(

@@ -45,7 +45,7 @@ def common_subexpression_elimination(net: MappedNetlist) -> int:
     return removed
 
 
-def mac_fusion(net: MappedNetlist, library=None) -> int:
+def mac_fusion(net: MappedNetlist, library=None, arrival=None) -> int:
     """Fuse mul->add pairs into `mac` cells; returns fusions performed.
 
     Fusion is cost-guarded like a commercial tool's:
@@ -58,15 +58,21 @@ def mac_fusion(net: MappedNetlist, library=None) -> int:
       arrival does not increase.  Without a library only the area guard
       applies — adequate for linear path labeling, where every input
       enters through the multiplier.
+
+    ``arrival`` optionally supplies a precomputed arrival map for the
+    timing guard (e.g. from the array STA engine, whose arrivals are
+    bit-identical to the reference); when omitted and a ``library`` is
+    given, one reference STA pass computes it here.
     """
     from .library import FREEPDK15
 
     cost_lib = library or FREEPDK15
-    arrival = None
-    if library is not None:
+    if library is not None and arrival is None:
         from .timing import static_timing_analysis
 
         arrival = static_timing_analysis(net, library).arrival
+    elif library is None:
+        arrival = None
 
     fused = 0
     for cid in list(net.cells):

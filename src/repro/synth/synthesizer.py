@@ -8,7 +8,17 @@ optimization effort — this is what makes the Figure 7 speedup experiment
 meaningful.
 
 It also labels individual circuit paths (``synthesize_path``) for the
-Circuit Path Dataset (Table 5).
+Circuit Path Dataset (Table 5), and batches of them in one shot
+(``synthesize_path_batch``).
+
+Two execution engines produce bit-identical results:
+
+- ``engine="array"`` (default) — the :mod:`repro.synth.engine`
+  array-compiled kernel: the netlist is flattened once, STA runs as
+  vectorized level sweeps, and the gate-sizing loop is incremental
+  (only the ``delay_scale`` vector changes between iterations).
+- ``engine="reference"`` — the original per-cell dict walk, kept as the
+  parity oracle (the ``train_*_reference`` pattern).
 """
 
 from __future__ import annotations
@@ -23,9 +33,11 @@ from .passes import buffer_insertion, common_subexpression_elimination, mac_fusi
 from .power import total_area, total_power
 from .timing import TimingReport, static_timing_analysis
 
-__all__ = ["SynthesisResult", "PathResult", "Synthesizer", "EFFORT_PASSES"]
+__all__ = ["SynthesisResult", "PathResult", "Synthesizer", "EFFORT_PASSES",
+           "SYNTH_ENGINES"]
 
 EFFORT_PASSES = {"low": 4, "medium": 12, "high": 30}
+SYNTH_ENGINES = ("array", "reference")
 
 
 @dataclass(frozen=True)
@@ -71,13 +83,21 @@ class Synthesizer:
         'low' | 'medium' | 'high' — number of timing-driven gate-sizing
         iterations, each a full-netlist pass (runtime/quality knob, like
         DC's compile effort).
+    engine:
+        'array' (default) runs STA and gate sizing on the vectorized
+        :mod:`repro.synth.engine` kernel; 'reference' keeps the original
+        per-cell implementation.  Results are bit-identical either way.
     """
 
-    def __init__(self, library: TechLibrary | None = None, effort: str = "medium"):
+    def __init__(self, library: TechLibrary | None = None, effort: str = "medium",
+                 engine: str = "array"):
         if effort not in EFFORT_PASSES:
             raise ValueError(f"effort must be one of {sorted(EFFORT_PASSES)}: {effort!r}")
+        if engine not in SYNTH_ENGINES:
+            raise ValueError(f"engine must be one of {SYNTH_ENGINES}: {engine!r}")
         self.library = library or FREEPDK15
         self.effort = effort
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def synthesize(self, graph: CircuitGraph,
@@ -91,7 +111,24 @@ class Synthesizer:
         net = MappedNetlist.from_graphir(graph)
 
         common_subexpression_elimination(net)
-        mac_fusion(net, library=self.library)
+        if self.engine == "array":
+            from .engine import array_sta
+
+            # The fusion timing guard only reads arrival values, and only
+            # for mul->add candidates.  Fusion never creates a candidate
+            # that did not exist beforehand (a fused consumer becomes a
+            # ``mac``, never an ``add``), so when the pre-scan finds none
+            # the STA pass can be skipped outright; otherwise feed the
+            # vectorized STA's (identical) arrivals.
+            has_candidate = any(
+                c.cell_type == "mul" and len(net.succ[cid]) == 1
+                and net.cells[next(iter(net.succ[cid]))].cell_type == "add"
+                for cid, c in net.cells.items())
+            arrival = (array_sta(net, self.library).arrival
+                       if has_candidate else {})
+            mac_fusion(net, library=self.library, arrival=arrival)
+        else:
+            mac_fusion(net, library=self.library)
         buffer_insertion(net)
 
         report = self._size_gates(net)
@@ -121,8 +158,15 @@ class Synthesizer:
         (faster but larger), and downsizes cells with large slack (smaller
         but slower) — converging toward a balanced design, exactly the
         inner loop that dominates commercial synthesis runtime.
+
+        On the array engine the netlist is compiled once and each
+        iteration re-sweeps only the changed ``delay_scale`` vector.
         """
         passes = EFFORT_PASSES[self.effort]
+        if self.engine == "array":
+            from .engine import size_gates_array
+
+            return size_gates_array(net, self.library, passes)
         report = static_timing_analysis(net, self.library)
         for _ in range(passes):
             if not report.critical_cells:
@@ -168,12 +212,28 @@ class Synthesizer:
             power_mw=power,
         )
 
+    # ------------------------------------------------------------------ #
+    def synthesize_path_batch(self, paths) -> list[PathResult]:
+        """Label many token chains at once — bit-identical to calling
+        :meth:`synthesize_path` per chain.
+
+        On the array engine, linear chains reduce to closed-form
+        cumulative sweeps over precomputed library cost tables with MAC
+        fusion applied as a vectorized adjacent-pair rewrite; the
+        reference engine loops :meth:`synthesize_path` (parity oracle).
+        """
+        if self.engine == "array":
+            from .engine import synthesize_path_batch
+
+            return synthesize_path_batch(paths, self.library)
+        return [self.synthesize_path(list(p)) for p in paths]
+
 
 def path_to_graph(tokens: list[str]) -> CircuitGraph:
     """Build a linear CircuitGraph from a token chain like ['io8','mul16',...]."""
     if not tokens:
         raise ValueError("a circuit path needs at least one token")
-    vocab = Vocabulary.standard()
+    vocab = _standard_vocab()
     graph = CircuitGraph("path")
     prev = None
     for token in tokens:
@@ -185,3 +245,15 @@ def path_to_graph(tokens: list[str]) -> CircuitGraph:
             graph.add_edge(prev, nid)
         prev = nid
     return graph
+
+
+def _standard_vocab() -> Vocabulary:
+    """Module-cached standard vocabulary — per-path labeling used to
+    rebuild all 79 tokens on every call."""
+    global _PATH_VOCAB
+    if _PATH_VOCAB is None:
+        _PATH_VOCAB = Vocabulary.standard()
+    return _PATH_VOCAB
+
+
+_PATH_VOCAB: Vocabulary | None = None
