@@ -78,19 +78,22 @@ class BoomDSE:
     def __init__(self, predictor: SNS | None = None,
                  synthesizer: Synthesizer | None = None,
                  perf_model: CoreMarkModel | None = None,
-                 cache=None, batch_size: int = 32):
+                 cache=None, batch_size: int = 32, frontend_cache=None):
         if (predictor is None) == (synthesizer is None):
             raise ValueError("provide exactly one of predictor / synthesizer")
         self.predictor = predictor
         self.synthesizer = synthesizer
         self.perf_model = perf_model or CoreMarkModel()
         if predictor is not None:
-            from ..runtime import BatchPredictor, PredictionCache
+            from ..runtime import (BatchPredictor, FrontendCache,
+                                   PredictionCache)
 
+            self.frontend_cache = frontend_cache or FrontendCache()
             self._batch_engine = BatchPredictor(
                 predictor, cache=cache or PredictionCache(),
-                batch_size=batch_size)
+                batch_size=batch_size, frontend_cache=self.frontend_cache)
         else:
+            self.frontend_cache = None
             self._batch_engine = None
 
     # ------------------------------------------------------------------ #
@@ -102,12 +105,13 @@ class BoomDSE:
         return DSEPoint(config, timing, area, power, score)
 
     def evaluate(self, config: BoomConfig) -> DSEPoint:
-        graph = BoomCore(config).elaborate()
         if self._batch_engine is not None:
-            pred = self._batch_engine.predict_batch([graph])[0]
+            # Module in, compiled front end inside: flat elaboration and
+            # sampled paths cached per configuration by the FrontendCache.
+            pred = self._batch_engine.predict_batch([BoomCore(config)])[0]
             timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
         else:
-            result = self.synthesizer.synthesize(graph)
+            result = self.synthesizer.synthesize(BoomCore(config).elaborate())
             timing, area, power = result.timing_ps, result.area_um2, result.power_mw
         return self._make_point(config, timing, area, power)
 
@@ -124,10 +128,10 @@ class BoomDSE:
             raise ValueError("no configurations to explore")
         start = time.perf_counter()
         if self._batch_engine is not None:
-            graphs = [BoomCore(config).elaborate() for config in configs]
+            cores = [BoomCore(config) for config in configs]
             if verbose:
-                print(f"[boom-dse] batch-predicting {len(graphs)} configs")
-            preds = self._batch_engine.predict_batch(graphs)
+                print(f"[boom-dse] batch-predicting {len(cores)} configs")
+            preds = self._batch_engine.predict_batch(cores)
             points = [self._make_point(c, p.timing_ps, p.area_um2, p.power_mw)
                       for c, p in zip(configs, preds)]
         else:

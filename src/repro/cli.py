@@ -19,6 +19,9 @@ predict MODEL FILE.v [FILE2.v ...]
                   model through the batched runtime (``--cache-dir``
                   persists the prediction cache across invocations).
 paths FILE.v      Sample complete circuit paths from a design.
+compile FILE.v    Compile a design through the array front end (CSR
+                  GraphIR); ``--cache-dir`` persists the compile cache
+                  and ``--profile`` prints per-stage timings.
 export NAME OUT.v Emit a bundled dataset design as Verilog
                   (``export --list`` shows the 41 names).
 """
@@ -175,6 +178,33 @@ def _cmd_paths(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    from .core import PathSampler
+    from .runtime import FrontendCache, compile_source_profiled
+
+    source = Path(args.design).read_text()
+    cache = (FrontendCache(disk_dir=args.cache_dir)
+             if args.cache_dir else FrontendCache())
+    sampler = PathSampler(k=args.k) if args.sample else None
+    cg, profile = compile_source_profiled(source, top=args.top, cache=cache,
+                                          sampler=sampler)
+    counts = cg.token_counts()
+    print(f"design:  {cg.name}")
+    print(f"nodes:   {cg.num_nodes} ({len(counts)} distinct tokens)")
+    print(f"edges:   {cg.num_edges}")
+    print(f"sources: {len(cg.source_ids())} sequential path sources")
+    if args.profile:
+        print("profile:")
+        print(profile.format())
+        if args.cache_dir:
+            stats = cache.stats
+            print(f"cache:   {stats['object_hits']} object hits, "
+                  f"{stats['memory_hits']} memory hits, "
+                  f"{stats['disk_hits']} disk hits, "
+                  f"{stats['misses']} misses")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -228,6 +258,21 @@ def main(argv: list[str] | None = None) -> int:
     p_paths.add_argument("-k", type=int, default=5)
     p_paths.add_argument("--max-paths", type=int, default=100)
     p_paths.set_defaults(fn=_cmd_paths)
+
+    p_compile = sub.add_parser("compile",
+                               help="compile a design through the array front end")
+    p_compile.add_argument("design")
+    p_compile.add_argument("--top", default=None,
+                           help="top module (default: inferred)")
+    p_compile.add_argument("--cache-dir", default=None,
+                           help="persist the compile cache to this directory")
+    p_compile.add_argument("--profile", action="store_true",
+                           help="print per-stage front-end timings")
+    p_compile.add_argument("--sample", action="store_true",
+                           help="also sample complete circuit paths")
+    p_compile.add_argument("-k", type=int, default=5,
+                           help="path-sampling divisor (with --sample)")
+    p_compile.set_defaults(fn=_cmd_compile)
 
     p_report = sub.add_parser("report", help="full timing/area/power report")
     p_report.add_argument("design")

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..datagen.augment import AugmentationConfig, augment_path_dataset
 from ..datagen.dataset import DesignRecord, sample_path_dataset
-from ..graphir import CircuitGraph, Vocabulary
+from ..graphir import CircuitGraph, Vocabulary, as_compiled
 from ..hdl import Module
 from ..synth import Synthesizer
 from .aggregator import AggregationMLP, featurize_design, reduce_paths
@@ -215,7 +215,11 @@ class SNS:
         if not self._fitted:
             raise RuntimeError("SNS.fit() must run before predict()")
         start = time.perf_counter()
-        graph = design.elaborate() if isinstance(design, Module) else design
+        # The whole prediction front end runs on the compiled form: flat
+        # builder elaboration for Modules, CSR array sampling, and
+        # vectorized statistics — node-for-node identical to the
+        # dict-graph pipeline (see the compiled-graph parity suite).
+        graph = as_compiled(design)
 
         paths = self.sampler.sample(graph)
         preds = self.circuitformer.predict_paths(
@@ -235,7 +239,8 @@ class SNS:
         )
 
     def predict_many(self, designs, activity_maps=None, cache=None,
-                     batch_size: int = 32) -> list[SNSPrediction]:
+                     batch_size: int = 32,
+                     frontend_cache=None) -> list[SNSPrediction]:
         """Batch prediction over an iterable of designs.
 
         Routes through :class:`repro.runtime.BatchPredictor`: sampled
@@ -246,10 +251,13 @@ class SNS:
         consistently for both :class:`CircuitGraph` and :class:`Module`
         inputs, warning on unmatched keys) or a sequence aligned with
         ``designs``.  Pass a :class:`repro.runtime.PredictionCache` as
-        ``cache`` to reuse results across calls.
+        ``cache`` to reuse results across calls, and a
+        :class:`repro.runtime.FrontendCache` as ``frontend_cache`` to
+        also reuse elaborated graphs and sampled paths.
         """
         from ..runtime import BatchPredictor
 
         engine = BatchPredictor(self, cache=cache, batch_size=batch_size,
-                                caching=cache is not None)
+                                caching=cache is not None,
+                                frontend_cache=frontend_cache)
         return engine.predict_batch(designs, activity_maps=activity_maps)

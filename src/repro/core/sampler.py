@@ -6,6 +6,18 @@ behaviour.  The sampler runs a randomized DFS: at every combinational
 vertex it explores ``ceil(|successors| / k)`` randomly-chosen successors
 (at least one), so ``k = 1`` is exhaustive and larger ``k`` thins the
 sample.  The paper uses ``k = 5`` for training.
+
+Two engines produce bit-identical output (same paths, same order, same
+RNG consumption — asserted by the parity suite and the throughput
+bench):
+
+- ``engine="array"`` (default) walks the CSR adjacency of a
+  :class:`repro.graphir.CompiledGraph` — precompiled successor lists,
+  token strings, and sequential flags instead of per-visit ``Node``
+  property evaluation.  A :class:`CircuitGraph` input is compiled once
+  and memoized on the instance.
+- ``engine="reference"`` is the original dict-graph walk, kept as the
+  parity oracle.
 """
 
 from __future__ import annotations
@@ -14,13 +26,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..graphir import CircuitGraph
+from ..graphir import CircuitGraph, CompiledGraph, compile_graph
 
 __all__ = ["SampledPath", "PathSampler"]
 
 DEFAULT_K = 5
 DEFAULT_MAX_LEN = 64
 DEFAULT_MAX_PATHS = 512
+
+ENGINES = ("array", "reference")
 
 
 @dataclass(frozen=True)
@@ -55,21 +69,34 @@ class PathSampler:
         Global per-design budget; sampling stops once reached.
     seed:
         RNG seed for reproducible sampling.
+    engine:
+        ``"array"`` (compiled CSR walk, default) or ``"reference"`` (the
+        original dict-graph walk).  Both are bit-identical, so the
+        engine choice is excluded from the sampler fingerprint.
     """
 
     k: int = DEFAULT_K
     max_len: int = DEFAULT_MAX_LEN
     max_paths: int = DEFAULT_MAX_PATHS
     seed: int = 0
+    engine: str = "array"
+
+    # Work-stack bound for one DFS: the iterative walk cannot hit
+    # Python's recursion limit on deep combinational chains, but a
+    # pathological fanout graph could still grow the explicit stack
+    # without bound — fail loudly instead of exhausting memory.
+    _MAX_STACK = 1_000_000
 
     def __post_init__(self):
         if self.k < 1:
             raise ValueError(f"k must be >= 1: {self.k}")
         if self.max_len < 2:
             raise ValueError(f"max_len must allow at least two endpoints: {self.max_len}")
+        if self.engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}: {self.engine!r}")
 
     # ------------------------------------------------------------------ #
-    def sample(self, graph: CircuitGraph) -> list[SampledPath]:
+    def sample(self, graph: CircuitGraph | CompiledGraph) -> list[SampledPath]:
         """Sample complete circuit paths from every sequential source.
 
         Sampling is coverage-guided (successors not yet on any sampled
@@ -77,6 +104,100 @@ class PathSampler:
         entire design") and runs multiple rounds over the sources until
         the path budget is met or a round yields nothing new.
         """
+        if self.engine == "array":
+            compiled = (graph if isinstance(graph, CompiledGraph)
+                        else compile_graph(graph))
+            return self._sample_array(compiled)
+        if isinstance(graph, CompiledGraph):
+            graph = graph.to_circuit_graph()
+        return self._sample_reference(graph)
+
+    # ------------------------------------------------------------------ #
+    # Array engine: iterative DFS over precompiled CSR successor lists.
+    # ------------------------------------------------------------------ #
+    def _sample_array(self, cg: CompiledGraph) -> list[SampledPath]:
+        rng = np.random.default_rng(self.seed)
+        shuffle = rng.shuffle
+        succ = cg.succ_lists
+        is_seq = cg.is_seq_list
+        tokens = cg.token_list
+        k = self.k
+        max_len = self.max_len
+        max_paths = self.max_paths
+        max_stack = self._MAX_STACK
+
+        paths: list[SampledPath] = []
+        append = paths.append
+        seen: set[tuple[int, ...]] = set()
+        visited: set[int] = set()
+        visited_update = visited.update
+
+        def pick(successors: list[int]) -> list[int]:
+            # ceil(len/k) picks, fresh (never-visited) successors first.
+            # RNG-stream parity with the reference: Generator.shuffle on
+            # a 0/1-element Python sequence draws nothing, so skipping
+            # those calls changes no stream position.
+            length = len(successors)
+            count = -(-length // k)
+            if count >= length:
+                visited_update(successors)
+                return successors
+            fresh = [s for s in successors if s not in visited]
+            stale = [s for s in successors if s in visited]
+            if len(fresh) > 1:
+                shuffle(fresh)
+            if len(stale) > 1:
+                shuffle(stale)
+            if count == 1:
+                picked = [fresh[0]] if fresh else [stale[0]]
+            else:
+                picked = (fresh + stale)[:count]
+            visited_update(picked)
+            return picked
+
+        sources = list(cg.source_ids())
+        max_rounds = 1 if k == 1 else 8
+        for _ in range(max_rounds):
+            if len(paths) >= max_paths:
+                break
+            before = len(paths)
+            shuffle(sources)
+            for src in sources:
+                if len(paths) >= max_paths:
+                    break
+                stack: list[tuple[int, tuple[int, ...]]] = [
+                    (s, (src, s)) for s in pick(succ[src])]
+                while stack and len(paths) < max_paths:
+                    node_id, path = stack.pop()
+                    if is_seq[node_id]:
+                        if path not in seen:
+                            seen.add(path)
+                            append(SampledPath(
+                                node_ids=path,
+                                tokens=tuple(tokens[n] for n in path)))
+                        continue
+                    if len(path) >= max_len:
+                        continue  # drop over-long exploration
+                    successors = succ[node_id]
+                    if not successors:
+                        continue  # dangling combinational sink
+                    for s in pick(successors):
+                        if s in path and not is_seq[s]:
+                            continue  # avoid combinational revisits
+                        stack.append((s, path + (s,)))
+                    if len(stack) > max_stack:
+                        raise RuntimeError(
+                            f"path-sampler work stack exceeded {max_stack} "
+                            f"entries on design {cg.name!r}; raise k or lower "
+                            "max_len/max_paths to bound the exploration")
+            if len(paths) == before:
+                break
+        return paths
+
+    # ------------------------------------------------------------------ #
+    # Reference engine (parity oracle)
+    # ------------------------------------------------------------------ #
+    def _sample_reference(self, graph: CircuitGraph) -> list[SampledPath]:
         rng = np.random.default_rng(self.seed)
         paths: list[SampledPath] = []
         seen: set[tuple[int, ...]] = set()
@@ -100,7 +221,14 @@ class PathSampler:
     # ------------------------------------------------------------------ #
     def _dfs_from(self, graph: CircuitGraph, src: int, rng: np.random.Generator,
                   paths: list[SampledPath], seen: set[tuple[int, ...]]) -> None:
-        """Iterative DFS growing one path at a time from ``src``."""
+        """Iterative DFS growing one path at a time from ``src``.
+
+        The explicit work stack (rather than Python recursion) is what
+        makes combinational chains deeper than ``sys.getrecursionlimit()``
+        safe to sample; the ``_MAX_STACK`` guard turns a pathological
+        exploration into a clear error instead of memory exhaustion (or,
+        for a recursive formulation, a ``RecursionError``).
+        """
         # Stack holds (node, path_so_far); path includes node.
         stack: list[tuple[int, tuple[int, ...]]] = []
         for succ in self._pick(graph.successors(src), rng):
@@ -126,6 +254,11 @@ class PathSampler:
                 if succ in path and not graph.node(succ).is_sequential:
                     continue  # avoid combinational revisits
                 stack.append((succ, path + (succ,)))
+            if len(stack) > self._MAX_STACK:
+                raise RuntimeError(
+                    f"path-sampler work stack exceeded {self._MAX_STACK} "
+                    f"entries on design {graph.name!r}; raise k or lower "
+                    "max_len/max_paths to bound the exploration")
 
     def _pick(self, successors: list[int], rng: np.random.Generator) -> list[int]:
         """Choose ceil(len/k) successors, preferring ones never visited.

@@ -7,6 +7,12 @@
   plus its per-path synthesized labels.
 - Family-aware train/test splitting: designs generated from the same
   parameterizable base never straddle the split (Section 4.1).
+
+Path sampling here (and in the ``repro.runtime.parallel`` workers) runs
+on the sampler's default array engine: each ``DesignRecord.graph``
+compiles once to CSR form (memoized on the graph instance) and the
+iterative array walk samples it — bit-identical paths to the reference
+engine, so dataset content is unchanged.
 """
 
 from __future__ import annotations

@@ -81,7 +81,7 @@ class DianNaoDSE:
                  synthesizer: Synthesizer | None = None,
                  perf_model: DianNaoPerfModel | None = None,
                  use_power_gating: bool = True,
-                 cache=None, batch_size: int = 32):
+                 cache=None, batch_size: int = 32, frontend_cache=None):
         if (predictor is None) == (synthesizer is None):
             raise ValueError("provide exactly one of predictor / synthesizer")
         self.predictor = predictor
@@ -89,18 +89,32 @@ class DianNaoDSE:
         self.perf_model = perf_model or DianNaoPerfModel()
         self.use_power_gating = use_power_gating
         if predictor is not None:
-            from ..runtime import BatchPredictor, PredictionCache
+            from ..runtime import (BatchPredictor, FrontendCache,
+                                   PredictionCache)
 
+            self.frontend_cache = frontend_cache or FrontendCache()
             self._batch_engine = BatchPredictor(
                 predictor, cache=cache or PredictionCache(),
-                batch_size=batch_size)
+                batch_size=batch_size, frontend_cache=self.frontend_cache)
         else:
+            self.frontend_cache = None
             self._batch_engine = None
 
     # ------------------------------------------------------------------ #
     def _prepare(self, config: DianNaoConfig):
-        """Elaborate one configuration and derive its activity map."""
-        graph = DianNao(config).elaborate()
+        """Elaborate one configuration and derive its activity map.
+
+        SNS-backed runs compile through the :class:`FrontendCache` (flat
+        builder elaboration, cached per configuration; node ids — and so
+        activity keys — identical to ``elaborate()``); synthesizer runs
+        keep the dict :class:`CircuitGraph` the synthesizer operates on.
+        """
+        if self._batch_engine is not None:
+            from ..runtime import compile_design
+
+            graph = compile_design(DianNao(config), self.frontend_cache)
+        else:
+            graph = DianNao(config).elaborate()
         report = self.perf_model.simulate(config)
         activity = self.perf_model.activity_coefficients(
             graph, report, gated=self.use_power_gating)

@@ -145,11 +145,15 @@ class DianNaoPerfModel:
             "nbout": 0.5 * u3,
         }
         out: dict[int, float] = {}
-        for node in graph.nodes():
-            if node.node_type != "dff":
-                continue
+        if isinstance(graph, CircuitGraph):
+            dffs = ((n.node_id, n.label) for n in graph.nodes()
+                    if n.node_type == "dff")
+        else:  # CompiledGraph: same ids/labels, straight off the arrays
+            labels = graph.labels
+            dffs = ((nid, labels[nid]) for nid in graph.ids_of_type("dff"))
+        for node_id, label in dffs:
             for prefix, coeff in stage_activity.items():
-                if node.label.startswith(prefix):
-                    out[node.node_id] = coeff
+                if label.startswith(prefix):
+                    out[node_id] = coeff
                     break
         return out

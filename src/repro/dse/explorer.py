@@ -88,11 +88,16 @@ class DesignSpaceExplorer:
         ``explore`` calls (SNS engines only).  When omitted, an
         in-memory cache is created per explorer, so re-exploring an
         overlapping grid is near-free.
+    frontend_cache:
+        Optional :class:`repro.runtime.FrontendCache` (SNS engines only).
+        When omitted, an in-memory one is created per explorer, so the
+        sweep elaborates and samples each configuration at most once
+        even when the prediction cache misses (e.g. after retraining).
     """
 
     def __init__(self, factory: Callable[..., Module], engine,
                  score: Callable | None = None, cache=None,
-                 batch_size: int = 32):
+                 batch_size: int = 32, frontend_cache=None):
         if not isinstance(engine, (SNS, Synthesizer)):
             raise TypeError(
                 f"engine must be SNS or Synthesizer, got {type(engine).__name__}")
@@ -101,12 +106,15 @@ class DesignSpaceExplorer:
         self.score = score
         self.batch_size = batch_size
         if isinstance(engine, SNS):
-            from ..runtime import BatchPredictor, PredictionCache
+            from ..runtime import (BatchPredictor, FrontendCache,
+                                   PredictionCache)
 
+            self.frontend_cache = frontend_cache or FrontendCache()
             self._batch_engine = BatchPredictor(
                 engine, cache=cache or PredictionCache(),
-                batch_size=batch_size)
+                batch_size=batch_size, frontend_cache=self.frontend_cache)
         else:
+            self.frontend_cache = None
             self._batch_engine = None
 
     # ------------------------------------------------------------------ #
@@ -122,12 +130,15 @@ class DesignSpaceExplorer:
 
     def evaluate(self, params: dict[str, Any]) -> EvaluatedDesign:
         module = self.factory(**params)
-        graph = module.elaborate()
         if self._batch_engine is not None:
-            pred = self._batch_engine.predict_batch([graph])[0]
+            # Hand the Module straight to the batch engine: it compiles
+            # through the shared FrontendCache (flat builder elaboration,
+            # cached per configuration).  The synthesizer path keeps the
+            # dict CircuitGraph it operates on.
+            pred = self._batch_engine.predict_batch([module])[0]
             timing, area, power = pred.timing_ps, pred.area_um2, pred.power_mw
         else:
-            result = self.engine.synthesize(graph)
+            result = self.engine.synthesize(module.elaborate())
             timing, area, power = result.timing_ps, result.area_um2, result.power_mw
         return self._score_point(params, timing, area, power)
 
@@ -149,10 +160,10 @@ class DesignSpaceExplorer:
             raise ValueError("nothing to explore after filtering")
         start = time.perf_counter()
         if self._batch_engine is not None:
-            graphs = [self.factory(**params).elaborate() for params in points]
+            modules = [self.factory(**params) for params in points]
             if verbose:
-                print(f"[dse] batch-predicting {len(graphs)} designs")
-            preds = self._batch_engine.predict_batch(graphs)
+                print(f"[dse] batch-predicting {len(modules)} designs")
+            preds = self._batch_engine.predict_batch(modules)
             evaluated = [
                 self._score_point(params, p.timing_ps, p.area_um2, p.power_mw)
                 for params, p in zip(points, preds)]

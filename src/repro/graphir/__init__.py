@@ -19,6 +19,7 @@ from .vocab import (
     Vocabulary,
 )
 from .graph import Node, CircuitGraph
+from .compiled import CompiledGraph, GraphBuilder, compile_graph, as_compiled
 from .serialize import to_json, from_json, save_graph, load_graph
 from .stats import (
     token_counts,
@@ -33,6 +34,7 @@ __all__ = [
     "LOGIC_TYPES", "ARITH_TYPES", "NODE_TYPES", "WIDTHS_LOGIC", "WIDTHS_ARITH",
     "SEQUENTIAL_TYPES", "round_width", "token_name", "parse_token", "Vocabulary",
     "Node", "CircuitGraph",
+    "CompiledGraph", "GraphBuilder", "compile_graph", "as_compiled",
     "to_json", "from_json", "save_graph", "load_graph",
     "token_counts", "stats_vector", "structural_features", "weighted_features",
     "NUM_STRUCTURAL_FEATURES", "NUM_WEIGHTED_FEATURES",

@@ -9,6 +9,7 @@ token names (``mul16``) use the rounded Table 1 vocabulary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from .vocab import NODE_TYPES, SEQUENTIAL_TYPES, round_width, token_name
 
@@ -34,15 +35,19 @@ class Node:
         if self.width < 1:
             raise ValueError(f"node width must be positive: {self.width}")
 
-    @property
+    # token / rounded_width are immutable functions of (node_type, width)
+    # but sit on the sampling and stats hot loops, so they are computed
+    # once per node (cached_property writes the instance __dict__
+    # directly, which a frozen dataclass permits).
+    @cached_property
     def token(self) -> str:
         return token_name(self.node_type, self.width)
 
-    @property
+    @cached_property
     def rounded_width(self) -> int:
         return round_width(self.width, self.node_type)
 
-    @property
+    @cached_property
     def is_sequential(self) -> bool:
         """True for vertices that delimit complete circuit paths."""
         return self.node_type in SEQUENTIAL_TYPES
@@ -57,6 +62,11 @@ class CircuitGraph:
     _succ: dict[int, list[int]] = field(default_factory=dict)
     _pred: dict[int, list[int]] = field(default_factory=dict)
     _next_id: int = 0
+    # Chronological edge journal: every accepted edge in insertion order.
+    # This is what lets the compiled front-end (repro.graphir.compiled)
+    # and the memoizing elaborator replay construction order exactly.
+    _edge_log: list[tuple[int, int]] = field(default_factory=list,
+                                             compare=False, repr=False)
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -77,15 +87,26 @@ class CircuitGraph:
         if dst not in self._succ[src]:
             self._succ[src].append(dst)
             self._pred[dst].append(src)
+            self._edge_log.append((src, dst))
 
     def merge(self, other: "CircuitGraph") -> dict[int, int]:
-        """Union ``other`` into this graph; returns old-id -> new-id map."""
+        """Union ``other`` into this graph; returns old-id -> new-id map.
+
+        Merged nodes are brand new in this graph, so the incoming
+        adjacency lists (already deduplicated) are remapped wholesale
+        instead of replaying one membership-scanning ``add_edge`` per
+        edge.
+        """
         remap: dict[int, int] = {}
         for node in other.nodes():
             remap[node.node_id] = self.add_node(node.node_type, node.width, node.label)
         for src, dsts in other._succ.items():
-            for dst in dsts:
-                self.add_edge(remap[src], remap[dst])
+            new_src = remap[src]
+            mapped = [remap[d] for d in dsts]
+            self._succ[new_src] = mapped
+            for new_dst in mapped:
+                self._pred[new_dst].append(new_src)
+                self._edge_log.append((new_src, new_dst))
         return remap
 
     # ------------------------------------------------------------------ #
@@ -115,7 +136,12 @@ class CircuitGraph:
 
     @property
     def num_edges(self) -> int:
-        return sum(len(v) for v in self._succ.values())
+        return len(self._edge_log)
+
+    @property
+    def next_node_id(self) -> int:
+        """The id the next :meth:`add_node` call will return."""
+        return self._next_id
 
     def sequential_ids(self) -> list[int]:
         """Ids of vertices that contain flip-flops or are ports (io/dff)."""
@@ -130,6 +156,23 @@ class CircuitGraph:
 
     def __repr__(self) -> str:
         return f"CircuitGraph({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # ------------------------------------------------------------------ #
+    # Construction journal (used by the memoizing elaborator and the
+    # compiled front-end; both need exact insertion order).
+    # ------------------------------------------------------------------ #
+    def edge_mark(self) -> int:
+        """Opaque marker for :meth:`edges_since`."""
+        return len(self._edge_log)
+
+    def edges_since(self, mark: int) -> list[tuple[int, int]]:
+        """Edges accepted since ``mark``, in insertion order."""
+        return self._edge_log[mark:]
+
+    def nodes_since(self, start: int) -> list[tuple[str, int, str]]:
+        """``(type, width, label)`` of nodes with id >= ``start``, in order."""
+        return [(n.node_type, n.width, n.label)
+                for nid, n in self._nodes.items() if nid >= start]
 
     # ------------------------------------------------------------------ #
     # Validation

@@ -26,12 +26,22 @@ _QUADRATIC_TYPES = frozenset({"mul", "div", "mod"})
 
 
 def token_counts(graph: CircuitGraph) -> Counter:
-    """Count of each vocabulary token name in the graph."""
+    """Count of each vocabulary token name in the graph.
+
+    Accepts either a :class:`CircuitGraph` (reference per-node loop) or a
+    :class:`repro.graphir.compiled.CompiledGraph` (vectorized bincount) —
+    as do the other statistics below; the compiled results are exactly
+    equal (asserted per registry design by the test suite).
+    """
+    if not isinstance(graph, CircuitGraph):
+        return graph.token_counts()
     return Counter(node.token for node in graph.nodes())
 
 
 def stats_vector(graph: CircuitGraph, vocab: Vocabulary | None = None) -> np.ndarray:
     """Fixed-length vector of per-token counts, in vocabulary order."""
+    if not isinstance(graph, CircuitGraph):
+        return graph.stats_vector(vocab)
     vocab = vocab or Vocabulary.standard()
     counts = token_counts(graph)
     return np.array([counts.get(token, 0) for token in vocab.tokens], dtype=np.float64)
@@ -47,6 +57,8 @@ def weighted_features(graph: CircuitGraph) -> np.ndarray:
     [total bits, quadratic-type bits^2, dff bits, mux bits,
      shifter bits*log2(bits), compare bits, reduce bits]
     """
+    if not isinstance(graph, CircuitGraph):
+        return graph.weighted_features()
     totals = np.zeros(NUM_WEIGHTED_FEATURES)
     for node in graph.nodes():
         w = node.rounded_width
@@ -71,6 +83,8 @@ def structural_features(graph: CircuitGraph) -> np.ndarray:
 
     [num_nodes, num_edges, num_sequential, max_fanout, mean_width, max_width]
     """
+    if not isinstance(graph, CircuitGraph):
+        return graph.structural_features()
     if graph.num_nodes == 0:
         return np.zeros(NUM_STRUCTURAL_FEATURES)
     widths = [node.rounded_width for node in graph.nodes()]

@@ -30,8 +30,12 @@ class Circuit:
         c.output("out", acc)
     """
 
-    def __init__(self, name: str = "design"):
-        self.graph = CircuitGraph(name)
+    def __init__(self, name: str = "design", graph=None):
+        # ``graph`` may be any object with the CircuitGraph construction
+        # API (add_node/add_edge/validate) — notably a
+        # :class:`repro.graphir.GraphBuilder` for flat array-backed
+        # elaboration straight into a CompiledGraph.
+        self.graph = graph if graph is not None else CircuitGraph(name)
         self._pending_regs: set[int] = set()
 
     # ------------------------------------------------------------------ #

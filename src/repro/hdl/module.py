@@ -51,3 +51,19 @@ class Module:
         c = Circuit(self.design_name)
         self.build(c)
         return c.finalize()
+
+    def elaborate_compiled(self):
+        """Build the design straight into a :class:`CompiledGraph`.
+
+        Construction targets a flat :class:`repro.graphir.GraphBuilder`
+        (append-only arrays, no per-node dict adjacency), so this is the
+        fast path for prediction: the result is node-for-node identical
+        to ``compile_graph(self.elaborate())``.
+        """
+        from ..graphir import GraphBuilder
+
+        builder = GraphBuilder(self.design_name)
+        c = Circuit(self.design_name, graph=builder)
+        self.build(c)
+        c.finalize()
+        return builder.compile()

@@ -13,11 +13,24 @@ Layers a batched, cached serving engine over the core SNS predictor:
 - :func:`parallel_sample_path_dataset` /
   :func:`parallel_build_design_dataset` — process-pool label generation
   for the Circuit Path and Hardware Design Datasets.
+- :class:`FrontendCache` / :func:`compile_source` / :func:`compile_module`
+  — the content-addressed compiled front end (source -> CompiledGraph
+  -> sampled paths) with per-stage :class:`FrontendProfile` timings.
 - Fingerprint helpers for cache keying and invalidation.
 """
 
 from .cache import CacheStats, PredictionCache
 from .engine import BatchPredictor, resolve_activity_maps
+from .frontend import (
+    FrontendCache,
+    FrontendProfile,
+    compile_design,
+    compile_module,
+    compile_source,
+    compile_source_profiled,
+    fingerprint_frontend_module,
+    fingerprint_frontend_source,
+)
 from .fingerprint import (
     cache_key,
     fingerprint_activity,
@@ -39,4 +52,8 @@ __all__ = [
     "fingerprint_library", "fingerprint_model", "fingerprint_sampler",
     "derive_design_seed", "parallel_sample_path_dataset",
     "parallel_build_design_dataset",
+    "FrontendCache", "FrontendProfile",
+    "compile_design", "compile_module", "compile_source",
+    "compile_source_profiled",
+    "fingerprint_frontend_module", "fingerprint_frontend_source",
 ]

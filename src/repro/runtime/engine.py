@@ -28,7 +28,6 @@ import numpy as np
 
 from ..core.predictor import SNS, SNSPrediction
 from ..core.sampler import SampledPath
-from ..hdl import Module
 from .cache import PredictionCache
 from .fingerprint import (cache_key, fingerprint_activity, fingerprint_graph,
                           fingerprint_model, fingerprint_sampler)
@@ -121,13 +120,17 @@ class BatchPredictor:
 
     def __init__(self, sns: SNS, cache: PredictionCache | None = None,
                  batch_size: int = 32, caching: bool = True,
-                 encoding_cache=None):
+                 encoding_cache=None, frontend_cache=None):
         self.sns = sns
         self.caching = caching
         self.cache = (cache if cache is not None else PredictionCache()) \
             if caching else None
         self.batch_size = batch_size
         self.encoding_cache = encoding_cache
+        # Optional repro.runtime.FrontendCache: Modules skip elaboration
+        # on repeat configurations and sampled paths replay from the
+        # (graph content x sampler) tier.
+        self.frontend_cache = frontend_cache
 
     # ------------------------------------------------------------------ #
     def predict_batch(self, designs, activity_maps=None) -> list[SNSPrediction]:
@@ -145,7 +148,12 @@ class BatchPredictor:
             raise RuntimeError("SNS.fit() must run before batch prediction")
         start = time.perf_counter()
 
-        graphs = [d.elaborate() if isinstance(d, Module) else d for d in designs]
+        # All design forms normalize to CompiledGraph: flat builder
+        # elaboration for Modules (through the front-end cache when one
+        # is attached), instance-memoized compile for CircuitGraphs.
+        from .frontend import compile_design
+
+        graphs = [compile_design(d, self.frontend_cache) for d in designs]
         activities = resolve_activity_maps(graphs, activity_maps)
 
         results: list[SNSPrediction | None] = [None] * len(graphs)
@@ -173,7 +181,11 @@ class BatchPredictor:
         unique: dict[tuple[str, ...], int] = {}
         group_index: dict[str | int, list[int]] = {}
         for key, members in pending.items():
-            paths = self.sns.sampler.sample(graphs[members[0]])
+            if self.frontend_cache is not None:
+                paths = self.frontend_cache.sample(graphs[members[0]],
+                                                   self.sns.sampler)
+            else:
+                paths = self.sns.sampler.sample(graphs[members[0]])
             group_paths[key] = paths
             group_index[key] = [
                 unique.setdefault(p.tokens, len(unique)) for p in paths]

@@ -1,0 +1,361 @@
+"""The compiled front end: source -> :class:`CompiledGraph` (+ paths), cached.
+
+This is the driver layer over the pieces introduced by the compiled
+front-end work:
+
+- :func:`compile_source` / :func:`compile_module` elaborate straight
+  into a flat :class:`repro.graphir.GraphBuilder` and return a
+  :class:`CompiledGraph` (CSR adjacency, int-coded tokens) — the form
+  the array path sampler and vectorized statistics consume.
+- :class:`FrontendCache` content-addresses the whole front end: a
+  fingerprint of (source text x top x defines) — or (module class
+  source x parameters) — short-circuits to a serialized CompiledGraph,
+  and a second tier keyed on (graph content x sampler config) replays
+  previously sampled paths.  Both engines of the sampler are
+  bit-identical, so replayed paths equal a fresh sample exactly.
+- :class:`FrontendProfile` times each stage (lex / parse / elaborate /
+  compile / sample) for the ``repro compile --profile`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import json
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+
+from ..graphir import CircuitGraph, CompiledGraph, as_compiled, compile_graph
+from .cache import PredictionCache
+from .fingerprint import fingerprint_sampler
+
+__all__ = [
+    "FrontendProfile",
+    "FrontendCache",
+    "fingerprint_frontend_source",
+    "fingerprint_frontend_module",
+    "compile_source",
+    "compile_source_profiled",
+    "compile_module",
+    "compile_design",
+]
+
+
+# ---------------------------------------------------------------------- #
+@dataclass
+class FrontendProfile:
+    """Per-stage wall-clock timings of one front-end run (seconds)."""
+
+    lex_s: float = 0.0
+    parse_s: float = 0.0
+    elaborate_s: float = 0.0
+    compile_s: float = 0.0
+    sample_s: float = 0.0
+    cache_hit: bool = False
+
+    @property
+    def total_s(self) -> float:
+        return (self.lex_s + self.parse_s + self.elaborate_s
+                + self.compile_s + self.sample_s)
+
+    def as_dict(self) -> dict:
+        return {"lex_s": self.lex_s, "parse_s": self.parse_s,
+                "elaborate_s": self.elaborate_s, "compile_s": self.compile_s,
+                "sample_s": self.sample_s, "total_s": self.total_s,
+                "cache_hit": self.cache_hit}
+
+    def format(self) -> str:
+        lines = [f"  {name:<10} {value * 1e3:9.2f} ms"
+                 for name, value in (("lex", self.lex_s),
+                                     ("parse", self.parse_s),
+                                     ("elaborate", self.elaborate_s),
+                                     ("compile", self.compile_s),
+                                     ("sample", self.sample_s))
+                 if value]
+        lines.append(f"  {'total':<10} {self.total_s * 1e3:9.2f} ms"
+                     + ("  (cache hit)" if self.cache_hit else ""))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------- #
+# Front-end fingerprints: what the compile cache keys on.
+# ---------------------------------------------------------------------- #
+def fingerprint_frontend_source(source: str, top: str | None = None,
+                                defines: dict[str, str] | None = None) -> str:
+    """SHA-256 over (source text, top module, preprocessor defines).
+
+    Callers that use ``include_paths`` must pass the *preprocessed*
+    text (as :func:`compile_source` does) so that edits to included
+    files change the fingerprint.
+    """
+    h = hashlib.sha256(b"frontend-src:v1")
+    h.update(source.encode())
+    h.update(b"\x00")
+    h.update((top or "").encode())
+    h.update(b"\x00")
+    h.update(json.dumps(sorted((defines or {}).items())).encode())
+    return h.hexdigest()
+
+
+_MODULE_SOURCE_FP: dict[type, str] = {}
+
+
+def fingerprint_frontend_module(module) -> str:
+    """SHA-256 over a :class:`repro.hdl.Module`'s class source + parameters.
+
+    The class *source code* (not just its name) is hashed — memoized per
+    class — so editing ``build()`` invalidates cached graphs.  Classes
+    whose source is unavailable (defined in a REPL) fall back to the
+    qualified name, trading cross-process safety for availability.
+    """
+    cls = type(module)
+    cls_fp = _MODULE_SOURCE_FP.get(cls)
+    if cls_fp is None:
+        try:
+            text = inspect.getsource(cls)
+        except (OSError, TypeError):
+            text = f"{cls.__module__}.{cls.__qualname__}"
+        cls_fp = hashlib.sha256(text.encode()).hexdigest()
+        _MODULE_SOURCE_FP[cls] = cls_fp
+    h = hashlib.sha256(b"frontend-mod:v1")
+    h.update(cls_fp.encode())
+    h.update(json.dumps(sorted(module.params.items()), default=str).encode())
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+class FrontendCache:
+    """Content-addressed cache of compiled graphs and sampled paths.
+
+    Three tiers, cheapest first: an in-process object tier (the live
+    :class:`CompiledGraph` / path tuples, no deserialization), the
+    :class:`PredictionCache` memory tier (JSON payloads), and its
+    optional disk tier (one file per key, survives across processes).
+
+    The path tier is keyed on (graph *content* fingerprint x sampler
+    config), so two differently-named designs that elaborate to the same
+    hardware share one sampled-path entry — and because the array and
+    reference sampler engines are bit-identical, a replayed entry equals
+    a fresh sample exactly.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 disk_dir: str | Path | None = None):
+        self.store = PredictionCache(max_entries=max_entries, disk_dir=disk_dir)
+        self._graphs: OrderedDict[str, CompiledGraph] = OrderedDict()
+        self._paths: OrderedDict[str, tuple] = OrderedDict()
+        self._max_objects = max_entries
+        self._lock = Lock()
+        self.object_hits = 0
+
+    # -- compiled graphs ----------------------------------------------- #
+    def get_graph(self, key: str) -> CompiledGraph | None:
+        with self._lock:
+            cg = self._graphs.get(key)
+            if cg is not None:
+                self._graphs.move_to_end(key)
+                self.object_hits += 1
+                return cg
+        doc = self.store.get(key)
+        if doc is None:
+            return None
+        cg = CompiledGraph.from_payload(doc)
+        with self._lock:
+            self._insert(self._graphs, key, cg)
+        return cg
+
+    def put_graph(self, key: str, cg: CompiledGraph) -> None:
+        with self._lock:
+            self._insert(self._graphs, key, cg)
+        self.store.put(key, cg.to_payload())
+
+    # -- sampled paths -------------------------------------------------- #
+    @staticmethod
+    def path_key(cg: CompiledGraph, sampler) -> str:
+        h = hashlib.sha256(b"frontend-paths:v1")
+        h.update(cg.fingerprint().encode())
+        h.update(fingerprint_sampler(sampler).encode())
+        return h.hexdigest()
+
+    def get_paths(self, cg: CompiledGraph, sampler):
+        """Replay cached paths for ``cg`` under ``sampler``, or ``None``."""
+        key = self.path_key(cg, sampler)
+        with self._lock:
+            paths = self._paths.get(key)
+            if paths is not None:
+                self._paths.move_to_end(key)
+                self.object_hits += 1
+                return list(paths)
+        doc = self.store.get(key)
+        if doc is None:
+            return None
+        from ..core.sampler import SampledPath
+
+        tokens = cg.token_list
+        paths = tuple(SampledPath(node_ids=tuple(ids),
+                                  tokens=tuple(tokens[n] for n in ids))
+                      for ids in doc["paths"])
+        with self._lock:
+            self._insert(self._paths, key, paths)
+        return list(paths)
+
+    def put_paths(self, cg: CompiledGraph, sampler, paths) -> None:
+        key = self.path_key(cg, sampler)
+        with self._lock:
+            self._insert(self._paths, key, tuple(paths))
+        self.store.put(key, {"format": "repro-frontend-paths", "version": 1,
+                             "paths": [list(p.node_ids) for p in paths]})
+
+    def sample(self, cg: CompiledGraph, sampler):
+        """Cached sampling: replay if keyed paths exist, else sample+store."""
+        paths = self.get_paths(cg, sampler)
+        if paths is None:
+            paths = sampler.sample(cg)
+            self.put_paths(cg, sampler, paths)
+        return paths
+
+    # ------------------------------------------------------------------ #
+    def _insert(self, tier: OrderedDict, key: str, value) -> None:
+        tier[key] = value
+        tier.move_to_end(key)
+        while len(tier) > self._max_objects:
+            tier.popitem(last=False)
+
+    @property
+    def stats(self) -> dict:
+        return {"object_hits": self.object_hits, **self.store.stats.as_dict()}
+
+    def clear(self, memory_only: bool = True) -> None:
+        with self._lock:
+            self._graphs.clear()
+            self._paths.clear()
+        self.store.clear(memory_only=memory_only)
+
+
+# ---------------------------------------------------------------------- #
+# Compile drivers
+# ---------------------------------------------------------------------- #
+def _preprocess(source: str, include_paths, defines) -> str:
+    if "`" in source or defines:
+        from ..verilog.preprocessor import preprocess
+
+        return preprocess(source, include_paths=include_paths, defines=defines)
+    return source
+
+
+def compile_source(source: str, top: str | None = None,
+                   include_paths: list[str] | None = None,
+                   defines: dict[str, str] | None = None,
+                   cache: FrontendCache | None = None) -> CompiledGraph:
+    """Compile Verilog text to a :class:`CompiledGraph` (cached).
+
+    On a cache hit the parser and elaborator never run; on a miss the
+    source elaborates straight into a flat ``GraphBuilder`` (memoized
+    instance stamping on) and the result is stored under the
+    (preprocessed source x top x defines) fingerprint.
+    """
+    from ..verilog.elaborator import elaborate_source
+
+    source = _preprocess(source, include_paths, defines)
+    if cache is not None:
+        key = fingerprint_frontend_source(source, top, defines)
+        cg = cache.get_graph(key)
+        if cg is not None:
+            return cg
+    cg = elaborate_source(source, top, compiled=True)
+    if cache is not None:
+        cache.put_graph(key, cg)
+    return cg
+
+
+def compile_source_profiled(source: str, top: str | None = None,
+                            include_paths: list[str] | None = None,
+                            defines: dict[str, str] | None = None,
+                            cache: FrontendCache | None = None,
+                            sampler=None) -> tuple[CompiledGraph, FrontendProfile]:
+    """Like :func:`compile_source`, but times each stage separately.
+
+    The profiled run uses the staged reference pipeline (parse ->
+    dict-graph elaborate -> compile) so the per-stage numbers are
+    meaningful; pass ``sampler`` to time path sampling too.
+    """
+    from ..verilog.elaborator import elaborate
+    from ..verilog.lexer import tokenize
+    from ..verilog.parser import Parser
+
+    profile = FrontendProfile()
+    clock = time.perf_counter
+    source = _preprocess(source, include_paths, defines)
+
+    key = None
+    if cache is not None:
+        key = fingerprint_frontend_source(source, top, defines)
+        t0 = clock()
+        cg = cache.get_graph(key)
+        if cg is not None:
+            profile.compile_s = clock() - t0
+            profile.cache_hit = True
+            if sampler is not None:
+                t0 = clock()
+                cache.sample(cg, sampler)
+                profile.sample_s = clock() - t0
+            return cg, profile
+
+    t0 = clock()
+    tokens = tokenize(source)
+    t1 = clock()
+    file = Parser(tokens).parse()
+    t2 = clock()
+    graph = elaborate(file, top)
+    t3 = clock()
+    cg = compile_graph(graph)
+    t4 = clock()
+    profile.lex_s = t1 - t0
+    profile.parse_s = t2 - t1
+    profile.elaborate_s = t3 - t2
+    profile.compile_s = t4 - t3
+    if cache is not None:
+        cache.put_graph(key, cg)
+    if sampler is not None:
+        t0 = clock()
+        if cache is not None:
+            cache.sample(cg, sampler)
+        else:
+            sampler.sample(cg)
+        profile.sample_s = clock() - t0
+    return cg, profile
+
+
+def compile_module(module, cache: FrontendCache | None = None) -> CompiledGraph:
+    """Compile a :class:`repro.hdl.Module` to a :class:`CompiledGraph`.
+
+    Cached under the module's class-source x parameter fingerprint, so a
+    DSE sweep revisiting a configuration skips elaboration entirely.
+    """
+    if cache is not None:
+        key = fingerprint_frontend_module(module)
+        cg = cache.get_graph(key)
+        if cg is not None:
+            return cg
+    cg = module.elaborate_compiled()
+    if cache is not None:
+        cache.put_graph(key, cg)
+    return cg
+
+
+def compile_design(design, cache: FrontendCache | None = None) -> CompiledGraph:
+    """Normalize any design form to a :class:`CompiledGraph`.
+
+    Accepts a :class:`CompiledGraph` (returned as-is), a
+    :class:`CircuitGraph` (compiled, memoized on the instance), or a
+    :class:`repro.hdl.Module` (elaborated via :func:`compile_module`,
+    using ``cache`` when given).
+    """
+    if isinstance(design, (CompiledGraph, CircuitGraph)):
+        return as_compiled(design)
+    if hasattr(design, "elaborate_compiled"):
+        return compile_module(design, cache)
+    return as_compiled(design)

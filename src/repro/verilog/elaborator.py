@@ -17,12 +17,15 @@ Semantic notes (cost-model oriented, like the paper's GraphIR):
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from . import ast
-from ..graphir import CircuitGraph
+from ..graphir import CircuitGraph, CompiledGraph, GraphBuilder
 from ..hdl import Circuit, Signal
 from .parser import parse_source
 
-__all__ = ["ElaborationError", "elaborate", "elaborate_source"]
+__all__ = ["ElaborationError", "ElaborationMemo", "elaborate",
+           "elaborate_source"]
 
 _MAX_DEPTH = 32
 
@@ -33,18 +36,153 @@ class ElaborationError(ValueError):
 
 def elaborate_source(source: str, top: str | None = None,
                      include_paths: list[str] | None = None,
-                     defines: dict[str, str] | None = None) -> CircuitGraph:
+                     defines: dict[str, str] | None = None, *,
+                     memo: "bool | ElaborationMemo" = True,
+                     compiled: bool = False) -> CircuitGraph | CompiledGraph:
     """Parse and elaborate Verilog text; returns the top module's GraphIR.
 
     Sources containing preprocessor directives (backticks) run through
     the preprocessor first; ``include_paths`` and ``defines`` configure
-    it.
+    it.  ``memo``/``compiled`` are forwarded to :func:`elaborate`.
     """
     if "`" in source or defines:
         from .preprocessor import preprocess
 
         source = preprocess(source, include_paths=include_paths, defines=defines)
-    return elaborate(parse_source(source), top)
+    return elaborate(parse_source(source), top, memo=memo, compiled=compiled)
+
+
+# ---------------------------------------------------------------------- #
+# Instance memoization: repeated (module, parameter binding, port shape)
+# instantiations stamp a recorded template instead of re-walking the AST.
+# ---------------------------------------------------------------------- #
+_UNCACHEABLE = object()
+
+
+@dataclass
+class _InstanceTemplate:
+    """Everything one elaborated instance added to the circuit, with node
+    ids rebased so it can be replayed at any id offset.
+
+    Edge/output endpoints are encoded as ``offset >= 0`` (instance-local
+    node, relative to the instance's first id) or ``-1 - i`` (the node
+    bound to external input port ``ext_ports[i]``).  Replaying nodes
+    first and then the journal-ordered edges reproduces the fresh
+    elaboration node-for-node: ids are assigned in the same order and
+    every adjacency list receives its entries in the same order.
+    """
+
+    module: object                      # pins the ModuleDef so id() stays unique
+    nodes: list[tuple[str, int, str]]   # (type, width, label) in creation order
+    edges: list[tuple[int, int]]        # encoded, in journal order
+    ext_ports: list[str]                # external index -> input port name
+    outputs: dict[str, tuple[int, int]]  # port -> (encoded node, width)
+    pending: list[int]                  # reg_declare offsets never driven
+    rel_depth: int                      # extra hierarchy depth below the instance
+
+
+class ElaborationMemo:
+    """Shared template store for memoized elaboration.
+
+    One is created per :func:`elaborate` call by default; pass your own
+    via ``elaborate(..., memo=memo)`` to reuse templates across calls
+    (e.g. a DSE sweep re-elaborating sibling parameterizations).
+    """
+
+    def __init__(self):
+        self.templates: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.peak = 0          # deepest scope seen inside the current capture
+        self._pins: list = []  # keep keyed ModuleDefs alive (keys use id())
+
+
+def _instance_key(child_def: ast.ModuleDef, child_params: dict[str, int],
+                  inputs: dict[str, Signal]):
+    """Template key: module identity x parameter binding x input shape.
+
+    The input shape covers each input port's bound width and its alias
+    group (which ports share one driving node) — the only properties of
+    the parent context that can influence the child's structure.
+    """
+    alias: dict[int, int] = {}
+    shape = []
+    for port in child_def.ports:
+        if port.direction != "input":
+            continue
+        sig = inputs.get(port.name)
+        if sig is None:
+            shape.append((port.name, None, None))
+        else:
+            group = alias.setdefault(sig.node_id, len(alias))
+            shape.append((port.name, sig.width, group))
+    return (id(child_def), tuple(sorted(child_params.items())), tuple(shape))
+
+
+def _capture_instance(graph, start: int, mark: int,
+                      inputs: dict[str, Signal], child: "_ModuleScope",
+                      child_def: ast.ModuleDef, pending_before: set[int],
+                      pending_after: set[int], rel_depth: int):
+    """Record what one fresh instance elaboration added to the circuit."""
+    ext_map: dict[int, int] = {}
+    ext_ports: list[str] = []
+    for port, sig in inputs.items():
+        if sig.node_id not in ext_map:
+            ext_map[sig.node_id] = len(ext_ports)
+            ext_ports.append(port)
+
+    def encode(nid: int):
+        if nid >= start:
+            return nid - start
+        idx = ext_map.get(nid)
+        return None if idx is None else -1 - idx
+
+    edges = []
+    for s, d in graph.edges_since(mark):
+        es, ed = encode(s), encode(d)
+        if es is None or ed is None:
+            return _UNCACHEABLE
+        edges.append((es, ed))
+    outputs = {}
+    for port in child_def.ports:
+        if port.direction != "output":
+            continue
+        sig = child._signals.get(port.name)
+        if not isinstance(sig, Signal):
+            return _UNCACHEABLE
+        enc = encode(sig.node_id)
+        if enc is None:
+            return _UNCACHEABLE
+        outputs[port.name] = (enc, sig.width)
+    if pending_before - pending_after:
+        return _UNCACHEABLE  # the child touched pre-existing pending regs
+    pending = sorted(nid - start for nid in pending_after - pending_before)
+    if pending and pending[0] < 0:
+        return _UNCACHEABLE
+    return _InstanceTemplate(module=child_def, nodes=graph.nodes_since(start),
+                             edges=edges, ext_ports=ext_ports,
+                             outputs=outputs, pending=pending,
+                             rel_depth=rel_depth)
+
+
+def _stamp_instance(circuit: Circuit, tmpl: _InstanceTemplate,
+                    inputs: dict[str, Signal]) -> dict[str, Signal]:
+    """Replay a template at the circuit's current node offset."""
+    graph = circuit.graph
+    base = graph.next_node_id
+    add_node = graph.add_node
+    for node_type, width, label in tmpl.nodes:
+        add_node(node_type, width, label)
+    if tmpl.pending:
+        circuit._pending_regs.update(base + off for off in tmpl.pending)
+    ext = [inputs[p].node_id for p in tmpl.ext_ports]
+    add_edge = graph.add_edge
+    for s, d in tmpl.edges:
+        add_edge(base + s if s >= 0 else ext[-1 - s],
+                 base + d if d >= 0 else ext[-1 - d])
+    return {port: Signal(circuit,
+                         base + enc if enc >= 0 else ext[-1 - enc], width)
+            for port, (enc, width) in tmpl.outputs.items()}
 
 
 class _Substituter:
@@ -85,10 +223,24 @@ class _Substituter:
             f"cannot substitute into {type(node).__name__}")
 
 
-def elaborate(file: ast.SourceFile, top: str | None = None) -> CircuitGraph:
+def elaborate(file: ast.SourceFile, top: str | None = None, *,
+              memo: bool | ElaborationMemo = True,
+              compiled: bool = False) -> CircuitGraph | CompiledGraph:
     """Elaborate a parsed source file.
 
     ``top`` defaults to the unique module that is never instantiated.
+
+    ``memo`` enables instance memoization: each (module, parameter
+    binding, input shape) is elaborated once and subsequent occurrences
+    stamp the recorded template — node-for-node identical output,
+    asserted by the memoization test suite.  Pass an
+    :class:`ElaborationMemo` to share templates across calls, or
+    ``False`` to force the unmemoized walk.
+
+    ``compiled=True`` elaborates straight into a flat
+    :class:`repro.graphir.GraphBuilder` and returns a
+    :class:`CompiledGraph` (skipping the dict-graph construction
+    entirely); otherwise a :class:`CircuitGraph` is returned.
     """
     if not file.modules:
         raise ElaborationError("no modules in source")
@@ -105,9 +257,17 @@ def elaborate(file: ast.SourceFile, top: str | None = None) -> CircuitGraph:
                 "pass top= explicitly")
         top = candidates[0]
     module = file.module(top)
-    circuit = Circuit(top)
-    scope = _ModuleScope(file, module, circuit, params={}, depth=0)
+    circuit = Circuit(top, graph=GraphBuilder(top)) if compiled else Circuit(top)
+    if isinstance(memo, ElaborationMemo):
+        memo_obj: ElaborationMemo | None = memo
+    else:
+        memo_obj = ElaborationMemo() if memo else None
+    scope = _ModuleScope(file, module, circuit, params={}, depth=0,
+                         memo=memo_obj)
     scope.elaborate_top()
+    if compiled:
+        circuit.finalize()
+        return circuit.graph.compile()
     return circuit.finalize()
 
 
@@ -117,9 +277,13 @@ class _ModuleScope:
 
     def __init__(self, file: ast.SourceFile, module: ast.ModuleDef,
                  circuit: Circuit, params: dict[str, int], depth: int,
-                 bound_inputs: dict[str, Signal] | None = None):
+                 bound_inputs: dict[str, Signal] | None = None,
+                 memo: ElaborationMemo | None = None):
         if depth > _MAX_DEPTH:
             raise ElaborationError(f"instance hierarchy deeper than {_MAX_DEPTH}")
+        self.memo = memo
+        if memo is not None and depth > memo.peak:
+            memo.peak = depth
         self.file = file
         self.module = module
         self.circuit = circuit
@@ -291,12 +455,58 @@ class _ModuleScope:
                         "connect to a plain identifier")
                 output_bindings.append((port, expr.name))
 
+        outputs = self._instantiate(child_def, child_params, inputs)
+        for port, net in output_bindings:
+            self._signals[net] = outputs[port]
+
+    def _instantiate(self, child_def: ast.ModuleDef,
+                     child_params: dict[str, int],
+                     inputs: dict[str, Signal]) -> dict[str, Signal]:
+        """Elaborate one child instance, stamping a memoized template when
+        an identical (module, params, input shape) was elaborated before."""
+        memo = self.memo
+        if memo is None:
+            child = _ModuleScope(self.file, child_def, self.circuit,
+                                 params=child_params, depth=self.depth + 1,
+                                 bound_inputs=inputs)
+            child.elaborate_top()
+            return {p.name: child.output_signal(p.name)
+                    for p in child_def.ports if p.direction == "output"}
+
+        key = _instance_key(child_def, child_params, inputs)
+        tmpl = memo.templates.get(key)
+        if isinstance(tmpl, _InstanceTemplate):
+            if self.depth + 1 + tmpl.rel_depth <= _MAX_DEPTH:
+                memo.hits += 1
+                # A stamped subtree still counts toward the enclosing
+                # capture's depth.
+                if self.depth + 1 + tmpl.rel_depth > memo.peak:
+                    memo.peak = self.depth + 1 + tmpl.rel_depth
+                return _stamp_instance(self.circuit, tmpl, inputs)
+            tmpl = _UNCACHEABLE  # too deep to stamp here; elaborate fresh
+
+        memo.misses += 1
+        graph = self.circuit.graph
+        start = graph.next_node_id
+        mark = graph.edge_mark()
+        pending_before = set(self.circuit._pending_regs)
+        outer_peak = memo.peak
+        memo.peak = self.depth + 1
         child = _ModuleScope(self.file, child_def, self.circuit,
                              params=child_params, depth=self.depth + 1,
-                             bound_inputs=inputs)
+                             bound_inputs=inputs, memo=memo)
         child.elaborate_top()
-        for port, net in output_bindings:
-            self._signals[net] = child.output_signal(port)
+        rel_depth = memo.peak - (self.depth + 1)
+        if outer_peak > memo.peak:
+            memo.peak = outer_peak
+        if tmpl is None:  # first sighting (never overwrite an _UNCACHEABLE mark)
+            captured = _capture_instance(
+                graph, start, mark, inputs, child, child_def,
+                pending_before, self.circuit._pending_regs, rel_depth)
+            memo.templates[key] = captured
+            memo._pins.append(child_def)
+        return {p.name: child.output_signal(p.name)
+                for p in child_def.ports if p.direction == "output"}
 
     # ------------------------------------------------------------------ #
     # Name resolution
