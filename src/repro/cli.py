@@ -67,6 +67,10 @@ def _cmd_train(args) -> int:
     if args.buckets:
         settings = replace(settings,
                            training=replace(settings.training, bucketed=True))
+    if args.executor:
+        settings = replace(settings,
+                           training=replace(settings.training, executor=True,
+                                            precision=args.precision))
     print(f"building the design dataset ({settings.name} preset)...")
     records = build_dataset(settings)
     train, test = train_test_split_by_family(records, args.train_fraction,
@@ -127,7 +131,9 @@ def _cmd_predict(args) -> int:
     sns = load_sns(args.model)
     graphs = [_read_design(path) for path in args.designs]
     cache = PredictionCache(disk_dir=args.cache_dir)
-    engine = BatchPredictor(sns, cache=cache, caching=not args.no_cache)
+    engine = BatchPredictor(sns, cache=cache, caching=not args.no_cache,
+                            executor=args.executor, precision=args.precision,
+                            threads=args.threads)
     preds = engine.predict_batch(graphs)
     for i, pred in enumerate(preds):
         if i:
@@ -223,6 +229,13 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--seed", type=int, default=0)
     p_train.add_argument("--buckets", action="store_true",
                          help="train with length-bucketed minibatches")
+    p_train.add_argument("--executor", action="store_true",
+                         help="compile one train step per batch shape and "
+                              "replay the static kernel schedule")
+    p_train.add_argument("--precision", default="fp64",
+                         choices=("fp64", "fp32"),
+                         help="executor arithmetic (fp64 is bit-identical "
+                              "to the dynamic path)")
     p_train.add_argument("--profile", action="store_true",
                          help="print per-phase training timing/allocation profiles")
     p_train.set_defaults(fn=_cmd_train)
@@ -251,6 +264,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="persist the prediction cache to this directory")
     p_pred.add_argument("--no-cache", action="store_true",
                         help="disable the prediction cache")
+    p_pred.add_argument("--executor", action="store_true",
+                        help="run inference through compiled per-bucket "
+                             "kernel plans (plan-once/run-many)")
+    p_pred.add_argument("--precision", default="fp64",
+                        choices=("fp64", "fp32", "int8"),
+                        help="executor arithmetic; int8 quantizes the "
+                             "embedding tables per row (weight-only)")
+    p_pred.add_argument("--threads", type=int, default=1,
+                        help="executor bucket-parallel threads "
+                             "(deterministic merge; 1 = serial)")
     p_pred.set_defaults(fn=_cmd_predict)
 
     p_paths = sub.add_parser("paths", help="sample complete circuit paths")

@@ -56,7 +56,12 @@ class TrainingConfig:
     ``False`` keeps the seed implementation's pad-to-longest batches and
     reproduces its loss curves bit-for-bit.  ``fused`` toggles the
     in-place fused optimizer kernels (bit-identical to the reference
-    kernels either way).
+    kernels either way).  ``executor`` compiles one training step per
+    padded batch shape into a static kernel schedule
+    (:func:`repro.nn.compile_train_step`) and replays it for every later
+    batch of that shape; ``precision`` selects the executor arithmetic
+    (``"fp64"`` is bit-identical to the dynamic fused path, ``"fp32"``
+    trades a tolerance-gated rounding difference for speed).
     """
 
     circuitformer_epochs: int = 24
@@ -70,6 +75,8 @@ class TrainingConfig:
     seed: int = 0
     bucketed: bool = False
     fused: bool = True
+    executor: bool = False
+    precision: str = "fp64"
 
 
 @dataclass

@@ -1,0 +1,1460 @@
+"""Plan-once/run-many compiled executor for the ``repro.nn`` autograd engine.
+
+The dynamic engine rebuilds the same computation graph for every batch of
+a given bucket shape: one Python ``Tensor`` object, one closure, and one
+fresh output allocation per op, every step.  This module compiles that
+repetition away.  One dynamic forward (plus backward, for training) is
+*traced* through the ``_make_child`` hook in :mod:`repro.nn.tensor`, and
+the observed op sequence is lowered to a **plan**: a flat list of numpy
+kernel calls (mostly ``functools.partial`` objects over ``np.<ufunc>``
+with ``out=`` targets) whose input/output/activation slots are allocated
+once and reused on every replay.  Replaying a plan builds no graph,
+allocates nothing, and dispatches no Python-level op logic — it is a
+straight ``for step in steps: step()`` loop over C-implemented callables.
+
+Correctness contract
+--------------------
+Every compile is *self-gating*: after lowering, the plan is immediately
+replayed on the very inputs it was traced on and compared against the
+dynamic run's output.
+
+- ``precision="fp64"`` plans must be **bit-identical** to the dynamic
+  engine (``np.array_equal``; for training plans, the loss *and every
+  parameter gradient*).  The emitters below therefore mirror the exact
+  kernel sequence and evaluation order of ``tensor.py`` — same ufuncs,
+  same association, same accumulation order.  A mismatch is a compiler
+  bug and raises :class:`ExecutorError`.
+- ``precision="fp32"`` / ``"int8"`` plans run reduced-precision kernels
+  and are gated by :func:`max_relative_error` against the float64
+  reference; exceeding the tolerance raises
+  :class:`PrecisionToleranceError` (the caller falls back to fp64 or the
+  dynamic path).  int8 is weight-only quantization (per-row-scaled
+  embedding gathers, per-column-scaled linear weights dequantized once
+  per weight version) and is inference-only.
+
+Dropout masks are redrawn at replay from the same generator stream the
+dynamic path would consume (the trace records draw order), so a compiled
+training step is bit-identical to a dynamic step *including* rng
+consumption.  The gate replay itself reuses the recorded trace masks and
+consumes no rng.
+
+Plans are thread-compatible: replay serializes on a per-plan lock, and
+*different* plans (one per bucket shape) replay concurrently — the numpy
+kernels release the GIL.  Compilation itself serializes on a global lock
+because the trace hooks are process-global.
+"""
+
+from __future__ import annotations
+
+import threading
+from functools import partial
+
+import numpy as np
+
+from .module import Parameter
+from .tensor import Tensor, assert_no_grad, is_grad_enabled, no_grad, \
+    _set_trace_hooks
+
+__all__ = [
+    "ExecutorError",
+    "PrecisionToleranceError",
+    "ForwardPlan",
+    "TrainStepPlan",
+    "compile_forward",
+    "compile_train_step",
+    "max_relative_error",
+    "DEFAULT_TOLERANCES",
+    "PRECISIONS",
+]
+
+# Tracing mutates process-global hooks in repro.nn.tensor: all compiles
+# serialize here.  Replays do not take this lock.
+_COMPILE_LOCK = threading.RLock()
+
+PRECISIONS = ("fp64", "fp32", "int8")
+
+# Gate thresholds for max_relative_error(plan, fp64 reference).  fp32
+# transformer forwards land around 1e-6; int8 weight-only quantization
+# of the embedding/linear weights is far coarser.  Callers may tighten
+# or loosen per compile via ``tolerance=``.
+DEFAULT_TOLERANCES = {"fp32": 1e-4, "int8": 0.25}
+
+_FLOAT_DTYPE = {"fp64": np.float64, "fp32": np.float32, "int8": np.float32}
+
+
+class ExecutorError(RuntimeError):
+    """A plan could not be compiled, failed its self-gate, or went stale."""
+
+
+class PrecisionToleranceError(ExecutorError):
+    """A reduced-precision plan exceeded its tolerance gate."""
+
+
+def max_relative_error(got: np.ndarray, ref: np.ndarray) -> float:
+    """``max |got - ref| / (1 + |ref|)`` — scale-aware elementwise error."""
+    got = np.asarray(got, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if got.size == 0:
+        return 0.0
+    return float(np.max(np.abs(got - ref) / (1.0 + np.abs(ref))))
+
+
+def _pow_step(a: np.ndarray, exponent: float, out: np.ndarray):
+    """A kernel step computing ``a ** exponent`` into ``out``.
+
+    Mirrors numpy's own ``ndarray.__pow__`` scalar fast paths so fp64
+    plans stay bit-identical to the dynamic engine.
+    """
+    if exponent == 2:
+        return partial(np.square, a, out=out)
+    if exponent == 1:
+        return partial(np.copyto, out, a)
+    if exponent == 0.5:
+        return partial(np.sqrt, a, out=out)
+    if exponent == -1:
+        return partial(np.reciprocal, a, out=out)
+    return partial(np.power, a, exponent, out=out)
+
+
+# ---------------------------------------------------------------------- #
+# Trace graph
+# ---------------------------------------------------------------------- #
+class _ParamLeaf:
+    __slots__ = ("param",)
+    requires_grad = True
+
+    def __init__(self, param: Parameter):
+        self.param = param
+
+
+class _InputLeaf:
+    __slots__ = ("name", "array")
+    requires_grad = False
+
+    def __init__(self, name: str, array: np.ndarray):
+        self.name = name
+        self.array = array
+
+
+class _ConstLeaf:
+    __slots__ = ("array",)
+    requires_grad = False
+
+    def __init__(self, array: np.ndarray):
+        self.array = array
+
+
+class _RngLeaf:
+    """A dropout mask: redrawn from ``rng`` on every replay."""
+
+    __slots__ = ("seq", "rng", "keep", "traced_mask")
+    requires_grad = False
+
+    def __init__(self, seq: int, rng, keep: float, traced_mask: np.ndarray):
+        self.seq = seq
+        self.rng = rng
+        self.keep = keep
+        self.traced_mask = traced_mask
+
+
+class _Node:
+    __slots__ = ("op", "attrs", "parents", "data", "requires_grad")
+
+    def __init__(self, op: str, attrs, parents, data: np.ndarray):
+        self.op = op
+        self.attrs = attrs or {}
+        self.parents = parents
+        self.data = data
+        self.requires_grad = any(p.requires_grad for p in parents)
+
+
+class _Trace:
+    """Records one dynamic run through the ``_make_child`` hook."""
+
+    def __init__(self):
+        self.records: list[_Node] = []
+        self._nodes: dict[int, _Node] = {}     # id(Tensor) -> _Node
+        self._leaves: dict[int, object] = {}   # id(Tensor) -> leaf
+        self._input_ids: dict[int, str] = {}   # id(buffer) -> name
+        self._rng_notes: dict[int, _RngLeaf] = {}  # id(mask) -> leaf
+        self._rng_seq = 0
+        self._keep: list = []                  # pin tensors: stable ids
+
+    def register_input(self, name: str, buffer: np.ndarray) -> None:
+        self._input_ids[id(buffer)] = name
+
+    def __enter__(self):
+        _set_trace_hooks(self._on_child, self._on_rng_mask)
+        return self
+
+    def __exit__(self, *exc):
+        _set_trace_hooks(None, None)
+        return False
+
+    def _on_rng_mask(self, mask: np.ndarray, rng, keep: float) -> None:
+        self._rng_notes[id(mask)] = _RngLeaf(self._rng_seq, rng, keep, mask)
+        self._rng_seq += 1
+        self._keep.append(mask)
+
+    def _on_child(self, out: Tensor, parents, op: str, attrs) -> None:
+        node = _Node(op, attrs, [self._resolve(p) for p in parents], out.data)
+        self._nodes[id(out)] = node
+        self.records.append(node)
+        self._keep.append(out)
+
+    def _resolve(self, t: Tensor):
+        node = self._nodes.get(id(t))
+        if node is not None:
+            return node
+        leaf = self._leaves.get(id(t))
+        if leaf is None:
+            if isinstance(t, Parameter):
+                leaf = _ParamLeaf(t)
+            else:
+                data_id = id(t.data)
+                name = self._input_ids.get(data_id)
+                if name is not None:
+                    leaf = _InputLeaf(name, t.data)
+                else:
+                    rng_leaf = self._rng_notes.get(data_id)
+                    leaf = rng_leaf if rng_leaf is not None \
+                        else _ConstLeaf(t.data)
+            self._leaves[id(t)] = leaf
+            self._keep.append(t)
+        return leaf
+
+    def node_for(self, t: Tensor) -> _Node:
+        node = self._nodes.get(id(t))
+        if node is None:
+            raise ExecutorError(
+                "traced function returned a tensor that was not produced "
+                "by a traced op (a leaf or a tensor made outside the trace)")
+        return node
+
+
+# ---------------------------------------------------------------------- #
+# Cells: the plan's storage slots
+# ---------------------------------------------------------------------- #
+class _Cell:
+    """One storage slot of a plan.
+
+    ``owned`` cells live in the arena (allocated at build, reused across
+    non-overlapping lifetimes); ``pinned`` cells are bound to a specific
+    array up front (input buffers, parameter storage, rng masks, param
+    gradients); ``view`` cells are recipes over a parent cell, resolved
+    once after the arena is bound.
+    """
+
+    __slots__ = ("shape", "dtype", "kind", "a", "parent", "recipe",
+                 "birth", "last", "never_free")
+
+    def __init__(self, shape, dtype, kind, a=None, parent=None, recipe=None):
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.kind = kind
+        self.a = a
+        self.parent = parent
+        self.recipe = recipe
+        self.birth = None
+        self.last = None
+        self.never_free = False
+
+    def root(self) -> "_Cell":
+        c = self
+        while c.kind == "view":
+            c = c.parent
+        return c
+
+
+# ---------------------------------------------------------------------- #
+# Plan builder
+# ---------------------------------------------------------------------- #
+class _PlanBuilder:
+    def __init__(self, trace: _Trace, precision: str, cast_cache, train: bool):
+        if precision not in PRECISIONS:
+            raise ExecutorError(f"unknown precision {precision!r}; "
+                                f"expected one of {PRECISIONS}")
+        self.trace = trace
+        self.precision = precision
+        self.fdtype = np.dtype(_FLOAT_DTYPE[precision])
+        self.train = train
+        # Shared across plans of one model so each parameter is cast /
+        # quantized once, not once per bucket shape.
+        self.cast_cache = cast_cache if cast_cache is not None else {}
+
+        self.cells: list[_Cell] = []
+        # (maker, reads, writes): maker() is called after arena binding
+        # and returns the zero-argument kernel callable.
+        self._emitted: list[tuple] = []
+        self._prologue_makers: list = []      # param-refresh closures
+        self._rng_draw_makers: list = []      # (seq, maker)
+        self._cell_of: dict[int, _Cell] = {}  # id(node/leaf) -> cell
+        self._aux: dict[tuple, _Cell] = {}    # (id(node), tag) -> cell
+        self._grad_cells: dict[int, list] = {}  # id -> [cell, contributed]
+        self._param_order: list[_ParamLeaf] = []
+        self._param_captures: list[tuple] = []  # (Parameter, ParamData)
+        self._input_cells: dict[str, _Cell] = {}
+        self._mask_pairs: list[tuple] = []    # (mask_cell, traced_mask)
+
+    # -- cell constructors --------------------------------------------- #
+    def owned(self, shape, dtype=None) -> _Cell:
+        c = _Cell(shape, dtype or self.fdtype, "owned")
+        self.cells.append(c)
+        return c
+
+    def pinned(self, array: np.ndarray) -> _Cell:
+        c = _Cell(array.shape, array.dtype, "pinned", a=array)
+        self.cells.append(c)
+        return c
+
+    def view(self, parent: _Cell, shape, recipe) -> _Cell:
+        c = _Cell(shape, parent.dtype, "view", parent=parent, recipe=recipe)
+        self.cells.append(c)
+        return c
+
+    def emit(self, maker, reads, writes) -> None:
+        self._emitted.append((maker, tuple(reads), tuple(writes)))
+
+    # -- leaf binding --------------------------------------------------- #
+    def cell(self, obj) -> _Cell:
+        c = self._cell_of.get(id(obj))
+        if c is not None:
+            return c
+        if isinstance(obj, _Node):
+            raise ExecutorError(f"node {obj.op!r} used before it was emitted")
+        c = self._bind_leaf(obj)
+        self._cell_of[id(obj)] = c
+        return c
+
+    def _bind_leaf(self, leaf) -> _Cell:
+        if isinstance(leaf, _ParamLeaf):
+            return self._bind_param(leaf)
+        if isinstance(leaf, _InputLeaf):
+            return self._bind_input(leaf)
+        if isinstance(leaf, _RngLeaf):
+            return self._bind_rng(leaf)
+        if isinstance(leaf, _ConstLeaf):
+            arr = leaf.array
+            if self.fdtype != np.float64 and arr.dtype == np.float64:
+                arr = arr.astype(self.fdtype)
+            return self.pinned(arr)
+        raise ExecutorError(f"unknown leaf type {type(leaf).__name__}")
+
+    def _bind_param(self, leaf: _ParamLeaf) -> _Cell:
+        param = leaf.param
+        self._param_order.append(leaf)
+        if self.precision == "fp64":
+            storage = param.data  # the ParamData object itself
+            self._param_captures.append((param, storage))
+            # Plain-ndarray view of the same buffer: kernels skip the
+            # ParamData ufunc-interception machinery on every read.
+            return self.pinned(storage.view(np.ndarray))
+        # fp32 / int8 dense path: one cast per (param, version), shared
+        # across plans via cast_cache.  Refreshed in the prologue.
+        key = ("fp32", id(param))
+        entry = self.cast_cache.get(key)
+        if entry is None:
+            arr32 = np.asarray(param.data, dtype=np.float32)
+            entry = [param, param.version, arr32]
+            self.cast_cache[key] = entry
+
+        def refresh(entry=entry):
+            param = entry[0]
+            if entry[1] != param.version:
+                np.copyto(entry[2], param.data.view(np.ndarray))
+                entry[1] = param.version
+
+        self._prologue_makers.append(lambda refresh=refresh: refresh)
+        return self.pinned(entry[2])
+
+    def _bind_input(self, leaf: _InputLeaf) -> _Cell:
+        c = self._input_cells.get(leaf.name)
+        if c is not None:
+            return c
+        buf = leaf.array
+        if self.fdtype != np.float64 and buf.dtype == np.float64:
+            # Float inputs get a reduced-precision twin; int/bool inputs
+            # keep the traced buffer itself, because op attrs (index
+            # keys, attention masks) hold *views* of that exact buffer.
+            c = self.pinned(np.asarray(buf, dtype=self.fdtype))
+        else:
+            c = self.pinned(buf)
+        self._input_cells[leaf.name] = c
+        return c
+
+    def ensure_inputs(self, bufs: dict) -> None:
+        """Bind input cells for buffers consumed only through op attrs.
+
+        Index keys (token ids) and attention masks never appear as
+        Tensor leaves — the ops hold views of the registered buffers in
+        their attrs — but they still need a plan input slot so replays
+        refresh them.
+        """
+        for name, buf in bufs.items():
+            if name not in self._input_cells:
+                self._bind_input(_InputLeaf(name, buf))
+
+    def _bind_rng(self, leaf: _RngLeaf) -> _Cell:
+        shape = leaf.traced_mask.shape
+        mask_cell = self.pinned(np.empty(shape, dtype=self.fdtype))
+        draw64 = np.empty(shape, dtype=np.float64)
+        lt = np.empty(shape, dtype=bool)
+        mask = mask_cell.a
+
+        def maker(rng=leaf.rng, keep=leaf.keep, draw64=draw64, lt=lt, mask=mask):
+            def draw():
+                # Same stream consumption and arithmetic as Dropout:
+                # (rng.random(shape) < keep) / keep
+                rng.random(out=draw64)
+                np.less(draw64, keep, out=lt)
+                np.divide(lt, keep, out=mask)
+            return draw
+
+        self._rng_draw_makers.append((leaf.seq, maker))
+        self._mask_pairs.append((mask_cell, leaf.traced_mask))
+        return mask_cell
+
+    # -- forward emission ----------------------------------------------- #
+    def emit_forward(self, until: _Node) -> _Cell:
+        emitted_until = False
+        for node in self.trace.records:
+            self._emit_forward_node(node)
+            if node is until:
+                emitted_until = True
+        if not emitted_until:
+            raise ExecutorError("output node missing from trace records")
+        return self._cell_of[id(until)]
+
+    def _emit_forward_node(self, node: _Node) -> None:
+        emitter = _FORWARD_EMITTERS.get(node.op)
+        if emitter is None:
+            raise ExecutorError(
+                f"op {node.op!r} has no executor lowering; run this "
+                f"function on the dynamic path instead")
+        out_cell = emitter(self, node)
+        self._cell_of[id(node)] = out_cell
+
+    # -- backward emission ---------------------------------------------- #
+    def emit_backward(self, loss: _Node) -> None:
+        # Mirror Tensor.backward()'s iterative DFS exactly so the
+        # gradient accumulation order (float addition is order-
+        # sensitive) matches the dynamic engine bit for bit.
+        topo: list = []
+        visited: set[int] = set()
+        stack: list[tuple] = [(loss, False)]
+        while stack:
+            obj, processed = stack.pop()
+            if processed:
+                topo.append(obj)
+                continue
+            if id(obj) in visited:
+                continue
+            visited.add(id(obj))
+            stack.append((obj, True))
+            if isinstance(obj, _Node):
+                for parent in obj.parents:
+                    if id(parent) not in visited:
+                        stack.append((parent, False))
+
+        seed = self.pinned(np.ones(loss.data.shape, dtype=self.fdtype))
+        self._grad_cells[id(loss)] = [seed, True]
+        for obj in reversed(topo):
+            if not isinstance(obj, _Node) or not obj.requires_grad:
+                continue
+            entry = self._grad_cells.get(id(obj))
+            if entry is None:
+                continue  # dynamic: node.grad is None -> closure skipped
+            emitter = _BACKWARD_EMITTERS.get(obj.op)
+            if emitter is None:
+                raise ExecutorError(f"op {obj.op!r} has no backward lowering")
+            emitter(self, obj, entry[0])
+
+    def _grad_cell(self, target) -> _Cell:
+        entry = self._grad_cells.get(id(target))
+        if entry is not None:
+            return entry[0]
+        if isinstance(target, _ParamLeaf):
+            cell = self.pinned(np.empty(target.param.shape, dtype=self.fdtype))
+        else:
+            cell = self.owned(target.data.shape)
+        self._grad_cells[id(target)] = [cell, False]
+        return cell
+
+    def acc(self, target, value: _Cell) -> None:
+        """Accumulate ``value`` into ``target``'s gradient cell.
+
+        First contribution copies (dynamic: ``np.array(grad, copy=True)``),
+        later contributions add in place (dynamic: ``grad += g``).
+        """
+        g = self._grad_cell(target)
+        entry = self._grad_cells[id(target)]
+        if not entry[1]:
+            self.emit(lambda g=g, v=value: partial(np.copyto, g.a, v.a),
+                      [value], [g])
+            entry[1] = True
+        else:
+            self.emit(lambda g=g, v=value: partial(np.add, g.a, v.a, out=g.a),
+                      [value, g], [g])
+
+    def emit_unbroadcast(self, cell: _Cell, shape: tuple) -> _Cell:
+        """Lower tensor._unbroadcast: reduce a broadcast grad to ``shape``."""
+        if cell.shape == shape:
+            return cell
+        cur = cell
+        while len(cur.shape) > len(shape):
+            nxt = self.owned(cur.shape[1:])
+            self.emit(lambda a=cur, o=nxt:
+                      partial(np.sum, a.a, axis=0, out=o.a), [cur], [nxt])
+            cur = nxt
+        for axis, size in enumerate(shape):
+            if size == 1 and cur.shape[axis] != 1:
+                new_shape = list(cur.shape)
+                new_shape[axis] = 1
+                nxt = self.owned(tuple(new_shape))
+                self.emit(lambda a=cur, o=nxt, ax=axis:
+                          partial(np.sum, a.a, axis=ax, keepdims=True, out=o.a),
+                          [cur], [nxt])
+                cur = nxt
+        if cur.shape != shape:
+            cur = self.view(cur, shape,
+                            lambda arr, shape=shape: arr.reshape(shape))
+        return cur
+
+    # -- finalization ---------------------------------------------------- #
+    def finalize(self, keep_roots: list[_Cell]):
+        """Bind the arena, resolve views, and build the final step list."""
+        for c in keep_roots:
+            c.root().never_free = True
+        n = len(self._emitted)
+        births: list[list[_Cell]] = [[] for _ in range(n)]
+        deaths: list[list[_Cell]] = [[] for _ in range(n)]
+        for idx, (_, reads, writes) in enumerate(self._emitted):
+            for c in reads + writes:
+                root = c.root()
+                if root.kind != "owned":
+                    continue
+                if root.birth is None:
+                    root.birth = idx
+                root.last = idx
+        for c in self.cells:
+            if c.kind == "owned" and c.birth is not None:
+                births[c.birth].append(c)
+                if not c.never_free:
+                    deaths[c.last].append(c)
+        free: dict[tuple, list[np.ndarray]] = {}
+        for idx in range(n):
+            # Bind step outputs before releasing the step's last-read
+            # inputs: a kernel's out= must never alias its inputs.
+            for c in births[idx]:
+                bucket = free.get((c.shape, c.dtype.str))
+                c.a = bucket.pop() if bucket else np.empty(c.shape, c.dtype)
+            for c in deaths[idx]:
+                free.setdefault((c.shape, c.dtype.str), []).append(c.a)
+        for c in self.cells:
+            if c.kind == "owned" and c.a is None:
+                c.a = np.empty(c.shape, c.dtype)
+            elif c.kind == "view" and c.a is None:
+                c.a = c.recipe(c.parent.a)
+
+        steps = [maker() for maker, _, _ in self._emitted]
+        prologue = [maker() for maker in self._prologue_makers]
+        rng_draws = [maker() for _, maker in
+                     sorted(self._rng_draw_makers, key=lambda kv: kv[0])]
+        return steps, prologue, rng_draws
+
+
+# ---------------------------------------------------------------------- #
+# Forward emitters.  ``b`` is the builder; each returns the output cell.
+# Comments cite the dynamic kernel being mirrored (tensor.py).
+# ---------------------------------------------------------------------- #
+def _fw_binary(ufunc):
+    def emit(b: _PlanBuilder, node: _Node) -> _Cell:
+        x, y = b.cell(node.parents[0]), b.cell(node.parents[1])
+        o = b.owned(node.data.shape)
+        b.emit(lambda x=x, y=y, o=o: partial(ufunc, x.a, y.a, out=o.a),
+               [x, y], [o])
+        return o
+    return emit
+
+
+def _fw_neg(b, node):
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    b.emit(lambda x=x, o=o: partial(np.negative, x.a, out=o.a), [x], [o])
+    return o
+
+
+def _fw_pow(b, node):
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    e = node.attrs["exponent"]
+    b.emit(lambda x=x, o=o, e=e: _pow_step(x.a, e, o.a), [x], [o])
+    return o
+
+
+def _fw_matmul(b, node):
+    x, y = b.cell(node.parents[0]), b.cell(node.parents[1])
+    o = b.owned(node.data.shape)
+    b.emit(lambda x=x, y=y, o=o: partial(np.matmul, x.a, y.a, out=o.a),
+           [x, y], [o])
+    return o
+
+
+def _fw_matmul_scaled(b, node):
+    o = _fw_matmul(b, node)
+    scale = node.attrs["scale"]
+    b.emit(lambda o=o, s=scale: partial(np.multiply, o.a, s, out=o.a),
+           [o], [o])
+    return o
+
+
+def _fw_reshape(b, node):
+    x = b.cell(node.parents[0])
+    shape = node.data.shape
+    if np.shares_memory(node.data, node.parents[0].data):
+        # The dynamic reshape produced a view; keep it a view.
+        return b.view(x, shape, lambda arr, shape=shape: arr.reshape(shape))
+    # Non-contiguous source: the dynamic engine materialized a C-order
+    # copy.  Equivalent: C-order write of the source into the output.
+    o = b.owned(shape)
+    src_shape = node.parents[0].data.shape
+    b.emit(lambda x=x, o=o, ss=src_shape:
+           partial(np.copyto, o.a.reshape(ss), x.a), [x], [o])
+    return o
+
+
+def _fw_transpose(b, node):
+    x = b.cell(node.parents[0])
+    axes = node.attrs["axes"]
+    if axes:
+        return b.view(x, node.data.shape,
+                      lambda arr, axes=axes: arr.transpose(axes))
+    return b.view(x, node.data.shape, lambda arr: arr.T)
+
+
+def _fw_swapaxes(b, node):
+    x = b.cell(node.parents[0])
+    ax1, ax2 = node.attrs["ax1"], node.attrs["ax2"]
+    return b.view(x, node.data.shape,
+                  lambda arr, ax1=ax1, ax2=ax2: np.swapaxes(arr, ax1, ax2))
+
+
+def _fw_getitem(b, node):
+    parent = node.parents[0]
+    key = node.attrs["key"]
+    shape = node.data.shape
+    # View detection must be exact: advanced-indexing copies carry a
+    # non-None .base (an internal intermediate) in numpy 2.x, so test
+    # actual memory sharing with the parent instead.
+    parent_data = node.parents[0].data if isinstance(parent, _Node) else None
+    if parent_data is None:
+        parent_data = (parent.param.data.view(np.ndarray)
+                       if isinstance(parent, _ParamLeaf) else
+                       parent.array if isinstance(parent, (_InputLeaf, _ConstLeaf))
+                       else parent.traced_mask)
+    if np.shares_memory(node.data, parent_data):
+        # Basic indexing: stays a view.
+        return b.view(b.cell(parent), shape,
+                      lambda arr, key=key: arr[key])
+    if isinstance(key, np.ndarray) and key.dtype.kind in "iu":
+        if (b.precision == "int8" and isinstance(parent, _ParamLeaf)
+                and parent.param.data.ndim == 2
+                and id(parent) not in b._cell_of):
+            # Quantized gather; skip binding the dense fp32 cast.
+            return _fw_int8_gather(b, parent, key, shape)
+        x = b.cell(parent)
+        o = b.owned(shape)
+        # np.take re-reads ``key`` each call: index buffers refreshed by
+        # the replay prologue are picked up automatically.
+        b.emit(lambda x=x, o=o, key=key:
+               partial(np.take, x.a, key, axis=0, out=o.a), [x], [o])
+        return o
+    # Generic advanced-indexing fallback (allocates per call; unused by
+    # the model, kept for completeness).
+    x = b.cell(parent)
+    o = b.owned(shape)
+
+    def maker(x=x, o=o, key=key):
+        def step():
+            np.copyto(o.a, x.a[key])
+        return step
+
+    b.emit(maker, [x], [o])
+    return o
+
+
+def _int8_quantize_rows(w: np.ndarray):
+    """Per-row symmetric int8: q[i,:] = round(w[i,:] / s[i]), s = max|row|/127."""
+    s = np.abs(w).max(axis=1) / 127.0
+    s[s == 0.0] = 1.0
+    q = np.clip(np.round(w / s[:, None]), -127, 127).astype(np.int8)
+    return q, s.astype(np.float32)
+
+
+def _fw_int8_gather(b: _PlanBuilder, leaf: _ParamLeaf, key: np.ndarray, shape):
+    param = leaf.param
+    b._param_order.append(leaf)
+    cache_key = ("int8", id(param))
+    entry = b.cast_cache.get(cache_key)
+    if entry is None:
+        q, s = _int8_quantize_rows(param.data.view(np.ndarray))
+        entry = [param, param.version, q, s]
+        b.cast_cache[cache_key] = entry
+
+    def refresh(entry=entry):
+        param = entry[0]
+        if entry[1] != param.version:
+            q, s = _int8_quantize_rows(param.data.view(np.ndarray))
+            entry[2][...] = q
+            entry[3][...] = s
+            entry[1] = param.version
+
+    b._prologue_makers.append(lambda refresh=refresh: refresh)
+    qcell = b.pinned(entry[2])
+    scell = b.pinned(entry[3])
+    qo = b.owned(shape, np.int8)
+    so = b.owned(key.shape, np.float32)
+    o = b.owned(shape)
+    b.emit(lambda q=qcell, o=qo, key=key:
+           partial(np.take, q.a, key, axis=0, out=o.a), [qcell], [qo])
+    b.emit(lambda s=scell, o=so, key=key:
+           partial(np.take, s.a, key, axis=0, out=o.a), [scell], [so])
+    b.emit(lambda qo=qo, so=so, o=o:
+           partial(np.multiply, qo.a, so.a[..., None], out=o.a),
+           [qo, so], [o])
+    return o
+
+
+def _fw_sum(b, node):
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+    b.emit(lambda x=x, o=o, axis=axis, kd=keepdims:
+           partial(np.sum, x.a, axis=axis, keepdims=kd, out=o.a), [x], [o])
+    return o
+
+
+def _fw_max(b, node):
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+    b.emit(lambda x=x, o=o, axis=axis, kd=keepdims:
+           partial(np.amax, x.a, axis=axis, keepdims=kd, out=o.a), [x], [o])
+    return o
+
+
+def _fw_unary(ufunc):
+    def emit(b, node):
+        x = b.cell(node.parents[0])
+        o = b.owned(node.data.shape)
+        b.emit(lambda x=x, o=o: partial(ufunc, x.a, out=o.a), [x], [o])
+        return o
+    return emit
+
+
+def _fw_sigmoid(b, node):
+    # 1.0 / (1.0 + np.exp(-x)), fused in place on the output slot.
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    b.emit(lambda x=x, o=o: partial(np.negative, x.a, out=o.a), [x], [o])
+    b.emit(lambda o=o: partial(np.exp, o.a, out=o.a), [o], [o])
+    b.emit(lambda o=o: partial(np.add, o.a, 1.0, out=o.a), [o], [o])
+    b.emit(lambda o=o: partial(np.divide, 1.0, o.a, out=o.a), [o], [o])
+    return o
+
+
+def _fw_relu(b, node):
+    # mask = x > 0; out = x * mask   (mask kept for the backward pass)
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    m = b.owned(node.data.shape, bool)
+    b.emit(lambda x=x, m=m: partial(np.greater, x.a, 0, out=m.a), [x], [m])
+    b.emit(lambda x=x, m=m, o=o: partial(np.multiply, x.a, m.a, out=o.a),
+           [x, m], [o])
+    b._aux[(id(node), "mask")] = m
+    return o
+
+
+def _fw_softmax(b, node):
+    # probs = x - x.max(axis, keepdims); exp in place; /= sum in place.
+    x = b.cell(node.parents[0])
+    axis = node.attrs["axis"]
+    red_shape = list(node.data.shape)
+    red_shape[axis] = 1
+    mx = b.owned(tuple(red_shape))
+    sm = b.owned(tuple(red_shape))
+    o = b.owned(node.data.shape)
+    b.emit(lambda x=x, o=mx, axis=axis:
+           partial(np.amax, x.a, axis=axis, keepdims=True, out=o.a),
+           [x], [mx])
+    b.emit(lambda x=x, m=mx, o=o: partial(np.subtract, x.a, m.a, out=o.a),
+           [x, mx], [o])
+    b.emit(lambda o=o: partial(np.exp, o.a, out=o.a), [o], [o])
+    b.emit(lambda o=o, s=sm, axis=axis:
+           partial(np.sum, o.a, axis=axis, keepdims=True, out=s.a), [o], [sm])
+    b.emit(lambda o=o, s=sm: partial(np.divide, o.a, s.a, out=o.a),
+           [o, sm], [o])
+    return o
+
+
+def _fw_masked_fill(b, node):
+    # np.where(mask, value, x): copy then masked overwrite.  ``mask`` is
+    # (a view of) a registered input buffer, re-read on every replay.
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    mask, value = node.attrs["mask"], node.attrs["value"]
+    b.emit(lambda x=x, o=o: partial(np.copyto, o.a, x.a), [x], [o])
+    b.emit(lambda o=o, m=mask, v=value:
+           partial(np.copyto, o.a, v, where=m), [o], [o])
+    return o
+
+
+def _fw_clip(b, node):
+    x = b.cell(node.parents[0])
+    o = b.owned(node.data.shape)
+    lo, hi = node.attrs["lo"], node.attrs["hi"]
+    b.emit(lambda x=x, o=o, lo=lo, hi=hi:
+           partial(np.clip, x.a, lo, hi, out=o.a), [x], [o])
+    if b.train and node.requires_grad:
+        # pass_through = (x >= lo) & (x <= hi), captured at forward time.
+        m = b.owned(node.data.shape, bool)
+        m2 = b.owned(node.data.shape, bool)
+        b.emit(lambda x=x, m=m, lo=lo:
+               partial(np.greater_equal, x.a, lo, out=m.a), [x], [m])
+        b.emit(lambda x=x, m=m2, hi=hi:
+               partial(np.less_equal, x.a, hi, out=m.a), [x], [m2])
+        b.emit(lambda m=m, m2=m2:
+               partial(np.logical_and, m.a, m2.a, out=m.a), [m, m2], [m])
+        b._aux[(id(node), "mask")] = m
+    return o
+
+
+_FORWARD_EMITTERS = {
+    "add": _fw_binary(np.add),
+    "mul": _fw_binary(np.multiply),
+    "div": _fw_binary(np.divide),
+    "neg": _fw_neg,
+    "pow": _fw_pow,
+    "matmul": _fw_matmul,
+    "matmul_scaled": _fw_matmul_scaled,
+    "reshape": _fw_reshape,
+    "transpose": _fw_transpose,
+    "swapaxes": _fw_swapaxes,
+    "getitem": _fw_getitem,
+    "sum": _fw_sum,
+    "max": _fw_max,
+    "exp": _fw_unary(np.exp),
+    "log": _fw_unary(np.log),
+    "tanh": _fw_unary(np.tanh),
+    "sigmoid": _fw_sigmoid,
+    "relu": _fw_relu,
+    "softmax": _fw_softmax,
+    "masked_fill": _fw_masked_fill,
+    "clip": _fw_clip,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Backward emitters.  Each mirrors the dynamic closure of the same op:
+# same kernel sequence, same evaluation order, flows to requires_grad
+# parents only, in parent order.
+# ---------------------------------------------------------------------- #
+def _bw_add(b, node, g):
+    for p in node.parents:
+        if p.requires_grad:
+            b.acc(p, b.emit_unbroadcast(g, _shape_of(b, p)))
+
+
+def _shape_of(b, obj):
+    return obj.data.shape if isinstance(obj, _Node) else \
+        (obj.param.shape if isinstance(obj, _ParamLeaf) else
+         obj.array.shape if isinstance(obj, _ConstLeaf) else
+         obj.array.shape if isinstance(obj, _InputLeaf) else
+         obj.traced_mask.shape)
+
+
+def _bw_mul(b, node, g):
+    p0, p1 = node.parents
+    if p0.requires_grad:
+        t = b.owned(node.data.shape)
+        other = b.cell(p1)
+        b.emit(lambda g=g, y=other, t=t:
+               partial(np.multiply, g.a, y.a, out=t.a), [g, other], [t])
+        b.acc(p0, b.emit_unbroadcast(t, _shape_of(b, p0)))
+    if p1.requires_grad:
+        t = b.owned(node.data.shape)
+        other = b.cell(p0)
+        b.emit(lambda g=g, y=other, t=t:
+               partial(np.multiply, g.a, y.a, out=t.a), [g, other], [t])
+        b.acc(p1, b.emit_unbroadcast(t, _shape_of(b, p1)))
+
+
+def _bw_neg(b, node, g):
+    p = node.parents[0]
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, t=t: partial(np.negative, g.a, out=t.a), [g], [t])
+    b.acc(p, t)
+
+
+def _bw_div(b, node, g):
+    p0, p1 = node.parents
+    if p0.requires_grad:
+        t = b.owned(node.data.shape)
+        y = b.cell(p1)
+        b.emit(lambda g=g, y=y, t=t:
+               partial(np.divide, g.a, y.a, out=t.a), [g, y], [t])
+        b.acc(p0, b.emit_unbroadcast(t, _shape_of(b, p0)))
+    if p1.requires_grad:
+        # -grad * a / (b ** 2)
+        x, y = b.cell(p0), b.cell(p1)
+        t = b.owned(node.data.shape)
+        t2 = b.owned(_shape_of(b, p1))
+        b.emit(lambda g=g, t=t: partial(np.negative, g.a, out=t.a), [g], [t])
+        b.emit(lambda x=x, t=t: partial(np.multiply, t.a, x.a, out=t.a),
+               [x, t], [t])
+        b.emit(lambda y=y, t2=t2: partial(np.square, y.a, out=t2.a),
+               [y], [t2])
+        b.emit(lambda t=t, t2=t2: partial(np.divide, t.a, t2.a, out=t.a),
+               [t, t2], [t])
+        b.acc(p1, b.emit_unbroadcast(t, _shape_of(b, p1)))
+
+
+def _bw_pow(b, node, g):
+    p = node.parents[0]
+    e = node.attrs["exponent"]
+    x = b.cell(p)
+    t = b.owned(node.data.shape)
+    t2 = b.owned(node.data.shape)
+    # grad * exponent * x ** (exponent - 1)
+    b.emit(lambda g=g, t=t, e=e: partial(np.multiply, g.a, e, out=t.a),
+           [g], [t])
+    b.emit(lambda x=x, t2=t2, e=e: _pow_step(x.a, e - 1, t2.a), [x], [t2])
+    b.emit(lambda t=t, t2=t2: partial(np.multiply, t.a, t2.a, out=t.a),
+           [t, t2], [t])
+    b.acc(p, t)
+
+
+def _matmul_out_shape(a_shape, b_shape):
+    return np.broadcast_shapes(a_shape[:-2], b_shape[:-2]) \
+        + (a_shape[-2], b_shape[-1])
+
+
+def _bw_matmul_flows(b, node, g):
+    p0, p1 = node.parents
+    x, y = b.cell(p0), b.cell(p1)
+    xs, ys = _shape_of(b, p0), _shape_of(b, p1)
+    if p0.requires_grad:
+        yT = b.view(y, ys[:-2] + (ys[-1], ys[-2]),
+                    lambda arr: np.swapaxes(arr, -1, -2))
+        t = b.owned(_matmul_out_shape(g.shape, yT.shape))
+        b.emit(lambda g=g, yT=yT, t=t:
+               partial(np.matmul, g.a, yT.a, out=t.a), [g, yT], [t])
+        b.acc(p0, b.emit_unbroadcast(t, xs))
+    if p1.requires_grad:
+        xT = b.view(x, xs[:-2] + (xs[-1], xs[-2]),
+                    lambda arr: np.swapaxes(arr, -1, -2))
+        t = b.owned(_matmul_out_shape(xT.shape, g.shape))
+        b.emit(lambda g=g, xT=xT, t=t:
+               partial(np.matmul, xT.a, g.a, out=t.a), [xT, g], [t])
+        b.acc(p1, b.emit_unbroadcast(t, ys))
+
+
+def _bw_matmul(b, node, g):
+    _bw_matmul_flows(b, node, g)
+
+
+def _bw_matmul_scaled(b, node, g):
+    scale = node.attrs["scale"]
+    gs = b.owned(g.shape)
+    b.emit(lambda g=g, gs=gs, s=scale:
+           partial(np.multiply, g.a, s, out=gs.a), [g], [gs])
+    _bw_matmul_flows(b, node, gs)
+
+
+def _bw_reshape(b, node, g):
+    p = node.parents[0]
+    shape = _shape_of(b, p)
+    b.acc(p, b.view(g, shape, lambda arr, shape=shape: arr.reshape(shape)))
+
+
+def _bw_transpose(b, node, g):
+    p = node.parents[0]
+    axes = node.attrs["axes"]
+    if axes:
+        inverse = tuple(np.argsort(axes))
+        v = b.view(g, _shape_of(b, p),
+                   lambda arr, inv=inverse: arr.transpose(inv))
+    else:
+        v = b.view(g, _shape_of(b, p), lambda arr: arr.T)
+    b.acc(p, v)
+
+
+def _bw_swapaxes(b, node, g):
+    p = node.parents[0]
+    ax1, ax2 = node.attrs["ax1"], node.attrs["ax2"]
+    b.acc(p, b.view(g, _shape_of(b, p),
+                    lambda arr, ax1=ax1, ax2=ax2: np.swapaxes(arr, ax1, ax2)))
+
+
+def _bw_getitem(b, node, g):
+    # full = zeros_like(parent); np.add.at(full, key, grad)
+    p = node.parents[0]
+    key = node.attrs["key"]
+    t = b.owned(_shape_of(b, p))
+
+    def maker(t=t, g=g, key=key):
+        def step():
+            t.a.fill(0.0)
+            np.add.at(t.a, key, g.a)
+        return step
+
+    b.emit(maker, [g], [t])
+    b.acc(p, t)
+
+
+def _bw_sum(b, node, g):
+    p = node.parents[0]
+    axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+    gv = g
+    if axis is not None and not keepdims:
+        exp_shape = np.expand_dims(np.empty(g.shape), axis).shape
+        gv = b.view(g, exp_shape,
+                    lambda arr, axis=axis: np.expand_dims(arr, axis))
+    t = b.owned(_shape_of(b, p))
+    b.emit(lambda gv=gv, t=t: partial(np.copyto, t.a, gv.a), [gv], [t])
+    b.acc(p, t)
+
+
+def _bw_max(b, node, g):
+    p = node.parents[0]
+    axis, keepdims = node.attrs["axis"], node.attrs["keepdims"]
+    x = b.cell(p)
+    o = b._cell_of[id(node)]
+    gv, ov = g, o
+    if axis is not None and not keepdims:
+        g_shape = np.expand_dims(np.empty(g.shape), axis).shape
+        gv = b.view(g, g_shape, lambda arr, ax=axis: np.expand_dims(arr, ax))
+        ov = b.view(o, g_shape, lambda arr, ax=axis: np.expand_dims(arr, ax))
+    mask = b.owned(x.shape, bool)
+    b.emit(lambda x=x, ov=ov, m=mask:
+           partial(np.equal, x.a, ov.a, out=m.a), [x, ov], [mask])
+    counts_shape = () if axis is None else np.sum(
+        np.empty(x.shape, dtype=np.int8), axis=axis, keepdims=True).shape
+    counts = b.owned(counts_shape, np.int64)
+    if axis is not None:
+        b.emit(lambda m=mask, c=counts, ax=axis:
+               partial(np.sum, m.a, axis=ax, keepdims=True, out=c.a),
+               [mask], [counts])
+    else:
+        b.emit(lambda m=mask, c=counts: partial(np.sum, m.a, out=c.a),
+               [mask], [counts])
+    t = b.owned(x.shape)
+    b.emit(lambda m=mask, gv=gv, t=t:
+           partial(np.multiply, m.a, gv.a, out=t.a), [mask, gv], [t])
+    b.emit(lambda t=t, c=counts: partial(np.divide, t.a, c.a, out=t.a),
+           [t, counts], [t])
+    b.acc(p, t)
+
+
+def _bw_exp(b, node, g):
+    p = node.parents[0]
+    o = b._cell_of[id(node)]
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, o=o, t=t: partial(np.multiply, g.a, o.a, out=t.a),
+           [g, o], [t])
+    b.acc(p, t)
+
+
+def _bw_log(b, node, g):
+    p = node.parents[0]
+    x = b.cell(p)
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, x=x, t=t: partial(np.divide, g.a, x.a, out=t.a),
+           [g, x], [t])
+    b.acc(p, t)
+
+
+def _bw_tanh(b, node, g):
+    # grad * (1.0 - out ** 2)
+    p = node.parents[0]
+    o = b._cell_of[id(node)]
+    t = b.owned(node.data.shape)
+    b.emit(lambda o=o, t=t: partial(np.square, o.a, out=t.a), [o], [t])
+    b.emit(lambda t=t: partial(np.subtract, 1.0, t.a, out=t.a), [t], [t])
+    b.emit(lambda g=g, t=t: partial(np.multiply, g.a, t.a, out=t.a),
+           [g, t], [t])
+    b.acc(p, t)
+
+
+def _bw_sigmoid(b, node, g):
+    # grad * out * (1.0 - out)
+    p = node.parents[0]
+    o = b._cell_of[id(node)]
+    t = b.owned(node.data.shape)
+    t2 = b.owned(node.data.shape)
+    b.emit(lambda g=g, o=o, t=t: partial(np.multiply, g.a, o.a, out=t.a),
+           [g, o], [t])
+    b.emit(lambda o=o, t2=t2: partial(np.subtract, 1.0, o.a, out=t2.a),
+           [o], [t2])
+    b.emit(lambda t=t, t2=t2: partial(np.multiply, t.a, t2.a, out=t.a),
+           [t, t2], [t])
+    b.acc(p, t)
+
+
+def _bw_relu(b, node, g):
+    p = node.parents[0]
+    m = b._aux[(id(node), "mask")]
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, m=m, t=t: partial(np.multiply, g.a, m.a, out=t.a),
+           [g, m], [t])
+    b.acc(p, t)
+
+
+def _bw_softmax(b, node, g):
+    # buf = grad*probs; dot = buf.sum(axis, keepdims); buf = grad - dot;
+    # buf *= probs   (the dynamic pooled-buffer sequence)
+    p = node.parents[0]
+    o = b._cell_of[id(node)]
+    axis = node.attrs["axis"]
+    red_shape = list(node.data.shape)
+    red_shape[axis] = 1
+    t = b.owned(node.data.shape)
+    dot = b.owned(tuple(red_shape))
+    b.emit(lambda g=g, o=o, t=t: partial(np.multiply, g.a, o.a, out=t.a),
+           [g, o], [t])
+    b.emit(lambda t=t, d=dot, axis=axis:
+           partial(np.sum, t.a, axis=axis, keepdims=True, out=d.a),
+           [t], [dot])
+    b.emit(lambda g=g, d=dot, t=t: partial(np.subtract, g.a, d.a, out=t.a),
+           [g, dot], [t])
+    b.emit(lambda t=t, o=o: partial(np.multiply, t.a, o.a, out=t.a),
+           [t, o], [t])
+    b.acc(p, t)
+
+
+def _bw_masked_fill(b, node, g):
+    # np.where(mask, 0.0, grad)
+    p = node.parents[0]
+    mask = node.attrs["mask"]
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, t=t: partial(np.copyto, t.a, g.a), [g], [t])
+    b.emit(lambda t=t, m=mask: partial(np.copyto, t.a, 0.0, where=m),
+           [t], [t])
+    b.acc(p, t)
+
+
+def _bw_clip(b, node, g):
+    p = node.parents[0]
+    m = b._aux[(id(node), "mask")]
+    t = b.owned(node.data.shape)
+    b.emit(lambda g=g, m=m, t=t: partial(np.multiply, g.a, m.a, out=t.a),
+           [g, m], [t])
+    b.acc(p, t)
+
+
+_BACKWARD_EMITTERS = {
+    "add": _bw_add,
+    "mul": _bw_mul,
+    "div": _bw_div,
+    "neg": _bw_neg,
+    "pow": _bw_pow,
+    "matmul": _bw_matmul,
+    "matmul_scaled": _bw_matmul_scaled,
+    "reshape": _bw_reshape,
+    "transpose": _bw_transpose,
+    "swapaxes": _bw_swapaxes,
+    "getitem": _bw_getitem,
+    "sum": _bw_sum,
+    "max": _bw_max,
+    "exp": _bw_exp,
+    "log": _bw_log,
+    "tanh": _bw_tanh,
+    "sigmoid": _bw_sigmoid,
+    "relu": _bw_relu,
+    "softmax": _bw_softmax,
+    "masked_fill": _bw_masked_fill,
+    "clip": _bw_clip,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Plans
+# ---------------------------------------------------------------------- #
+class _PlanBase:
+    def __init__(self, precision, steps, prologue, rng_draws, input_cells,
+                 param_captures, mask_pairs):
+        self.precision = precision
+        self.gate_error: float = 0.0
+        self.lock = threading.Lock()
+        self._steps = steps
+        self._prologue = prologue
+        self._rng_draws = rng_draws
+        self._inputs = {name: c.a for name, c in input_cells.items()}
+        self._param_captures = param_captures
+        self._mask_pairs = mask_pairs
+        self.replays = 0
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._steps)
+
+    @property
+    def input_names(self) -> tuple:
+        return tuple(sorted(self._inputs))
+
+    def is_stale(self) -> bool:
+        """True if a traced parameter's storage was *rebound* (not merely
+        written in place) since compile — fp64 plans alias the storage
+        directly and must be recompiled after a rebind."""
+        return any(p.data is not captured
+                   for p, captured in self._param_captures)
+
+    def _load_inputs(self, arrays: dict) -> None:
+        inputs = self._inputs
+        if arrays.keys() != inputs.keys():
+            raise ExecutorError(
+                f"plan inputs are {sorted(inputs)}, got {sorted(arrays)}")
+        for name, arr in arrays.items():
+            buf = inputs[name]
+            if np.shape(arr) != buf.shape:
+                raise ExecutorError(
+                    f"input {name!r}: expected shape {buf.shape}, "
+                    f"got {np.shape(arr)}")
+            np.copyto(buf, arr)
+
+    def _run(self, arrays: dict, _gate: bool = False) -> None:
+        if self.is_stale():
+            raise ExecutorError(
+                "plan is stale: a traced parameter's storage was rebound "
+                "(e.g. by a reference optimizer or load_state_dict); "
+                "recompile the plan")
+        self._load_inputs(arrays)
+        for fn in self._prologue:
+            fn()
+        if _gate:
+            # Replay the exact masks of the trace; consume no rng.
+            for cell, traced in self._mask_pairs:
+                np.copyto(cell.a, traced)
+        else:
+            for draw in self._rng_draws:
+                draw()
+        for fn in self._steps:
+            fn()
+        self.replays += 1
+
+
+class ForwardPlan(_PlanBase):
+    """A compiled inference plan.  ``replay`` returns a plan-owned array
+    valid until the next replay — copy it if you keep it."""
+
+    def __init__(self, precision, steps, prologue, rng_draws, input_cells,
+                 param_captures, mask_pairs, out_cell):
+        super().__init__(precision, steps, prologue, rng_draws, input_cells,
+                         param_captures, mask_pairs)
+        self._out = out_cell
+
+    def replay(self, **arrays) -> np.ndarray:
+        assert_no_grad("ForwardPlan.replay")
+        with self.lock:
+            self._run(arrays)
+            return self._out.a
+
+    def _replay_gate(self, arrays: dict) -> np.ndarray:
+        with self.lock:
+            self._run(arrays, _gate=True)
+            return self._out.a
+
+
+class TrainStepPlan(_PlanBase):
+    """A compiled forward+backward training step.
+
+    ``step(**arrays)`` refreshes the plan's input slots, replays the
+    kernel schedule, publishes per-parameter gradients to
+    ``Parameter.grad`` (float64), and returns the scalar loss.  The
+    caller still owns the optimizer update.
+    """
+
+    def __init__(self, precision, steps, prologue, rng_draws, input_cells,
+                 param_captures, mask_pairs, loss_cell, param_grads):
+        super().__init__(precision, steps, prologue, rng_draws, input_cells,
+                         param_captures, mask_pairs)
+        self._loss = loss_cell
+        self._param_grads = param_grads  # (Parameter, grad_cell, out64|None)
+
+    def step(self, **arrays) -> float:
+        with self.lock:
+            self._run(arrays)
+            self._publish_grads()
+            return float(self._loss.a)
+
+    def _step_gate(self, arrays: dict) -> float:
+        with self.lock:
+            self._run(arrays, _gate=True)
+            self._publish_grads()
+            return float(self._loss.a)
+
+    def _publish_grads(self) -> None:
+        for param, gcell, out64 in self._param_grads:
+            if out64 is None:
+                param.grad = gcell.a
+            else:
+                np.copyto(out64, gcell.a)
+                param.grad = out64
+
+
+# ---------------------------------------------------------------------- #
+# Compilation entry points
+# ---------------------------------------------------------------------- #
+def _trace_call(fn, inputs: dict):
+    bufs = {}
+    for name, value in inputs.items():
+        arr = np.array(value)  # plan-owned copy, dtype preserved
+        bufs[name] = arr
+    trace = _Trace()
+    for name, buf in bufs.items():
+        trace.register_input(name, buf)
+    with trace:
+        out = fn(**bufs)
+    if not isinstance(out, Tensor):
+        raise ExecutorError("traced function must return a Tensor")
+    return trace, bufs, out
+
+
+def _resolve_tolerance(precision, tolerance):
+    if precision == "fp64":
+        return 0.0
+    return DEFAULT_TOLERANCES[precision] if tolerance is None else float(tolerance)
+
+
+def compile_forward(fn, inputs: dict, precision: str = "fp64",
+                    tolerance: float | None = None,
+                    cast_cache: dict | None = None) -> ForwardPlan:
+    """Trace ``fn(**inputs)`` once and compile it into a ForwardPlan.
+
+    ``fn`` receives plan-owned buffer copies of ``inputs`` (dtypes
+    preserved — pass int64 ids, bool masks, float64 features) and must
+    return a single :class:`Tensor`.  The compiled plan is immediately
+    replayed on the trace inputs and gated against the dynamic output:
+    bit-equality for fp64, :func:`max_relative_error` ``<= tolerance``
+    for fp32/int8.
+    """
+    tol = _resolve_tolerance(precision, tolerance)
+    with _COMPILE_LOCK:
+        trace, bufs, out = _trace_call(fn, inputs)
+        node = trace.node_for(out)
+        builder = _PlanBuilder(trace, precision, cast_cache, train=False)
+        out_cell = builder.emit_forward(node)
+        builder.ensure_inputs(bufs)
+        steps, prologue, rng_draws = builder.finalize([out_cell])
+        plan = ForwardPlan(precision, steps, prologue, rng_draws,
+                           builder._input_cells, builder._param_captures,
+                           builder._mask_pairs, out_cell)
+        got = plan._replay_gate(bufs)
+        _gate(plan, got, out.data, tol)
+    return plan
+
+
+def compile_train_step(fn, inputs: dict, precision: str = "fp64",
+                       tolerance: float | None = None,
+                       cast_cache: dict | None = None,
+                       free_graph: bool = True):
+    """Trace one training step and compile forward+backward into a plan.
+
+    ``fn(**buffers)`` must return a scalar loss Tensor.  The dynamic
+    trace run *is* the first training step: this returns ``(plan,
+    loss)`` with every traced parameter's ``.grad`` holding the dynamic
+    gradients, so the caller applies the optimizer update for step one
+    and calls ``plan.step(...)`` from step two on.  The plan's gate
+    compares the replayed loss and gradients against that dynamic step
+    (bitwise for fp64; loss within tolerance for fp32).  int8 is
+    inference-only and rejected here.
+    """
+    if precision == "int8":
+        raise ExecutorError("int8 precision is inference-only; "
+                            "use fp64 or fp32 for training")
+    if not is_grad_enabled():
+        raise ExecutorError("compile_train_step requires gradients enabled")
+    tol = _resolve_tolerance(precision, tolerance)
+    with _COMPILE_LOCK:
+        trace, bufs, loss = _trace_call(fn, inputs)
+        if loss.size != 1:
+            raise ExecutorError("traced training step must return a scalar loss")
+        loss_node = trace.node_for(loss)
+        builder = _PlanBuilder(trace, precision, cast_cache, train=True)
+        loss_cell = builder.emit_forward(loss_node)
+        builder.emit_backward(loss_node)
+
+        params: list[Parameter] = []
+        seen: set[int] = set()
+        for leaf in builder._param_order:
+            if id(leaf.param) not in seen:
+                seen.add(id(leaf.param))
+                params.append(leaf.param)
+        param_grads = []
+        leaf_of = {id(leaf.param): leaf for leaf in builder._param_order}
+        for param in params:
+            leaf = leaf_of[id(param)]
+            entry = builder._grad_cells.get(id(leaf))
+            if entry is None:
+                continue  # parameter traced but unreached by gradients
+            gcell = entry[0]
+            out64 = None if precision == "fp64" \
+                else np.empty(param.shape, dtype=np.float64)
+            param_grads.append((param, gcell, out64))
+
+        builder.ensure_inputs(bufs)
+        keep = [loss_cell] + [g for _, g, _ in param_grads]
+        steps, prologue, rng_draws = builder.finalize(keep)
+        plan = TrainStepPlan(precision, steps, prologue, rng_draws,
+                             builder._input_cells, builder._param_captures,
+                             builder._mask_pairs, loss_cell, param_grads)
+
+        # Dynamic oracle step: zero traced grads, backprop.
+        for param in params:
+            param.zero_grad()
+        loss.backward(free_graph=free_graph)
+        dyn_grads = [(param, param.grad) for param in params]
+
+        got_loss = plan._step_gate(bufs)
+        ref_loss = float(loss.data)
+        if precision == "fp64":
+            if got_loss != ref_loss and not (np.isnan(got_loss)
+                                             and np.isnan(ref_loss)):
+                raise ExecutorError(
+                    f"fp64 train plan loss diverged from dynamic oracle: "
+                    f"{got_loss!r} != {ref_loss!r} (compiler bug)")
+            for param, gcell, _ in plan._param_grads:
+                dyn = dict((id(p), gr) for p, gr in dyn_grads)[id(param)]
+                if dyn is None or not np.array_equal(gcell.a, dyn):
+                    raise ExecutorError(
+                        "fp64 train plan gradients diverged from the "
+                        "dynamic oracle (compiler bug)")
+        else:
+            err = max_relative_error(np.float64(got_loss),
+                                     np.float64(ref_loss))
+            if err > tol:
+                raise PrecisionToleranceError(
+                    f"{precision} train plan loss error {err:.3e} exceeds "
+                    f"tolerance {tol:.3e}")
+            plan.gate_error = err
+        # Hand the dynamic gradients back: the caller's step-one
+        # optimizer update uses the oracle values.
+        for param, grad in dyn_grads:
+            param.grad = grad
+    return plan, ref_loss
+
+
+def _gate(plan, got: np.ndarray, ref: np.ndarray, tol: float) -> None:
+    if plan.precision == "fp64":
+        if not np.array_equal(got, ref):
+            raise ExecutorError(
+                "fp64 plan output diverged from the dynamic reference "
+                "(compiler bug: plans must be bit-identical)")
+        plan.gate_error = 0.0
+        return
+    err = max_relative_error(got, ref)
+    if err > tol:
+        raise PrecisionToleranceError(
+            f"{plan.precision} plan error {err:.3e} exceeds tolerance "
+            f"{tol:.3e}; fall back to fp64 or raise the tolerance")
+    plan.gate_error = err

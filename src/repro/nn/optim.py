@@ -218,13 +218,15 @@ def clip_grad_norm(params, max_norm: float) -> float:
     else:
         size = sum(g.size for g in grads)
         buf = scratch_pool.take((size,))
-        pos = 0
-        for g in grads:
-            n = g.size
-            np.copyto(buf[pos:pos + n], g.reshape(-1))
-            pos += n
-        total = float(np.dot(buf, buf))
-        scratch_pool.give(buf)
+        try:
+            pos = 0
+            for g in grads:
+                n = g.size
+                np.copyto(buf[pos:pos + n], g.reshape(-1))
+                pos += n
+            total = float(np.dot(buf, buf))
+        finally:
+            scratch_pool.give(buf)
     norm = float(np.sqrt(total))
     if norm > max_norm and norm > 0:
         scale = max_norm / norm

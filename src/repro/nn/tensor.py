@@ -14,17 +14,36 @@ broadcast operand are reduced back to the operand's shape with
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from .pool import scratch_pool
 
-__all__ = ["Tensor", "tensor", "zeros", "ones", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "tensor", "zeros", "ones", "no_grad", "is_grad_enabled",
+           "assert_no_grad"]
 
 _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager that disables graph construction (inference mode)."""
+    """Disable graph construction (inference mode).
+
+    Usable three ways, mirroring ``torch.no_grad``::
+
+        with no_grad(): ...          # context manager
+
+        @no_grad                     # bare decorator
+        def serve(x): ...
+
+        @no_grad()                   # called decorator
+        def serve(x): ...
+    """
+
+    def __init__(self, func=None):
+        self._func = func
+        if func is not None:
+            functools.update_wrapper(self, func)
 
     def __enter__(self):
         global _GRAD_ENABLED
@@ -37,10 +56,67 @@ class no_grad:
         _GRAD_ENABLED = self._prev
         return False
 
+    def __call__(self, *args, **kwargs):
+        if self._func is None:
+            # ``@no_grad()`` decoration: the lone argument is the function.
+            if len(args) == 1 and not kwargs and callable(args[0]):
+                return no_grad(args[0])
+            raise TypeError("no_grad() takes no arguments; use it as a "
+                            "context manager or decorator")
+        with no_grad():
+            return self._func(*args, **kwargs)
+
+    def __get__(self, obj, objtype=None):
+        # Bound-method support for ``@no_grad`` on methods.
+        if obj is None:
+            return self
+        return functools.partial(self.__call__, obj)
+
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for autodiff."""
     return _GRAD_ENABLED
+
+
+def assert_no_grad(context: str = "") -> None:
+    """Raise if autodiff recording is enabled.
+
+    Guard for code that must not build a graph — e.g. compiled-plan
+    replay, where a stray enabled-grad op would silently re-introduce
+    the per-op object churn the plan exists to eliminate.
+    """
+    if _GRAD_ENABLED:
+        where = f" in {context}" if context else ""
+        raise RuntimeError(
+            f"gradients are enabled{where}; wrap the call in nn.no_grad()")
+
+
+# ---------------------------------------------------------------------- #
+# Trace hooks (repro.nn.executor)
+#
+# The executor compiles a static kernel schedule out of one dynamic
+# forward (+ backward) pass.  Rather than re-implementing every op, it
+# installs a hook that observes each ``_make_child`` call — the one
+# choke point every primitive already routes through — together with the
+# op name, parent tensors, and the op's non-tensor attributes (axes,
+# keys, masks, scales).  A second hook lets rng-driven constants
+# (dropout masks) identify themselves so replays can redraw them.
+# Both hooks are None except while the executor is actively tracing.
+# ---------------------------------------------------------------------- #
+_TRACE_HOOK = None
+_RNG_NOTE_HOOK = None
+
+
+def _set_trace_hooks(trace_hook, rng_note_hook) -> None:
+    global _TRACE_HOOK, _RNG_NOTE_HOOK
+    _TRACE_HOOK = trace_hook
+    _RNG_NOTE_HOOK = rng_note_hook
+
+
+def _trace_note_rng_mask(mask: np.ndarray, rng, keep: float) -> None:
+    """Mark ``mask`` as freshly drawn from ``rng`` (see Dropout.forward)."""
+    if _RNG_NOTE_HOOK is not None:
+        _RNG_NOTE_HOOK(mask, rng, keep)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -132,9 +208,11 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # Graph plumbing
     # ------------------------------------------------------------------ #
-    def _make_child(self, data, parents, op: str) -> "Tensor":
+    def _make_child(self, data, parents, op: str, attrs: dict | None = None) -> "Tensor":
         requires = any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _parents=tuple(parents), _op=op)
+        if _TRACE_HOOK is not None:
+            _TRACE_HOOK(out, parents, op, attrs)
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -259,7 +337,8 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        out = self._make_child(self.data ** exponent, (self,), "pow")
+        out = self._make_child(self.data ** exponent, (self,), "pow",
+                               attrs={"exponent": exponent})
         if out.requires_grad:
             def _backward(grad):
                 self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -279,12 +358,16 @@ class Tensor:
             def _backward(grad):
                 if self.requires_grad:
                     ga = _pooled_matmul(grad, np.swapaxes(b, -1, -2))
-                    self._accumulate(_unbroadcast(ga, a.shape))
-                    scratch_pool.give(ga)
+                    try:
+                        self._accumulate(_unbroadcast(ga, a.shape))
+                    finally:
+                        scratch_pool.give(ga)
                 if other.requires_grad:
                     gb = _pooled_matmul(np.swapaxes(a, -1, -2), grad)
-                    other._accumulate(_unbroadcast(gb, b.shape))
-                    scratch_pool.give(gb)
+                    try:
+                        other._accumulate(_unbroadcast(gb, b.shape))
+                    finally:
+                        scratch_pool.give(gb)
             out._backward = _backward
         return out
 
@@ -307,27 +390,35 @@ class Tensor:
         scale = float(scale)
         data = a @ b
         np.multiply(data, scale, out=data)
-        out = self._make_child(data, (self, other), "matmul_scaled")
+        out = self._make_child(data, (self, other), "matmul_scaled",
+                               attrs={"scale": scale})
         if out.requires_grad:
             def _backward(grad):
                 g = scratch_pool.take(grad.shape)
-                np.multiply(grad, scale, out=g)
-                if self.requires_grad:
-                    ga = _pooled_matmul(g, np.swapaxes(b, -1, -2))
-                    self._accumulate(_unbroadcast(ga, a.shape))
-                    scratch_pool.give(ga)
-                if other.requires_grad:
-                    gb = _pooled_matmul(np.swapaxes(a, -1, -2), g)
-                    other._accumulate(_unbroadcast(gb, b.shape))
-                    scratch_pool.give(gb)
-                scratch_pool.give(g)
+                try:
+                    np.multiply(grad, scale, out=g)
+                    if self.requires_grad:
+                        ga = _pooled_matmul(g, np.swapaxes(b, -1, -2))
+                        try:
+                            self._accumulate(_unbroadcast(ga, a.shape))
+                        finally:
+                            scratch_pool.give(ga)
+                    if other.requires_grad:
+                        gb = _pooled_matmul(np.swapaxes(a, -1, -2), g)
+                        try:
+                            other._accumulate(_unbroadcast(gb, b.shape))
+                        finally:
+                            scratch_pool.give(gb)
+                finally:
+                    scratch_pool.give(g)
             out._backward = _backward
         return out
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = self._make_child(self.data.reshape(shape), (self,), "reshape")
+        out = self._make_child(self.data.reshape(shape), (self,), "reshape",
+                               attrs={"shape": tuple(shape)})
         if out.requires_grad:
             def _backward(grad):
                 self._accumulate(grad.reshape(self.shape))
@@ -339,7 +430,7 @@ class Tensor:
         if axes and len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         out = self._make_child(self.data.transpose(axes) if axes else self.data.T,
-                               (self,), "transpose")
+                               (self,), "transpose", attrs={"axes": axes})
         if out.requires_grad:
             def _backward(grad):
                 if axes:
@@ -351,7 +442,8 @@ class Tensor:
         return out
 
     def swapaxes(self, ax1: int, ax2: int) -> "Tensor":
-        out = self._make_child(np.swapaxes(self.data, ax1, ax2), (self,), "swapaxes")
+        out = self._make_child(np.swapaxes(self.data, ax1, ax2), (self,), "swapaxes",
+                               attrs={"ax1": ax1, "ax2": ax2})
         if out.requires_grad:
             def _backward(grad):
                 self._accumulate(np.swapaxes(grad, ax1, ax2))
@@ -359,7 +451,8 @@ class Tensor:
         return out
 
     def __getitem__(self, key) -> "Tensor":
-        out = self._make_child(self.data[key], (self,), "getitem")
+        out = self._make_child(self.data[key], (self,), "getitem",
+                               attrs={"key": key})
         if out.requires_grad:
             def _backward(grad):
                 full = np.zeros_like(self.data)
@@ -372,16 +465,19 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum",
+                               attrs={"axis": axis, "keepdims": keepdims})
         if out.requires_grad:
             def _backward(grad):
                 g = grad
                 if axis is not None and not keepdims:
                     g = np.expand_dims(g, axis)
                 buf = scratch_pool.take(self.shape)
-                np.copyto(buf, g)
-                self._accumulate(buf)
-                scratch_pool.give(buf)
+                try:
+                    np.copyto(buf, g)
+                    self._accumulate(buf)
+                finally:
+                    scratch_pool.give(buf)
             out._backward = _backward
         return out
 
@@ -393,7 +489,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = self._make_child(out_data, (self,), "max")
+        out = self._make_child(out_data, (self,), "max",
+                               attrs={"axis": axis, "keepdims": keepdims})
         if out.requires_grad:
             def _backward(grad):
                 g = grad
@@ -475,27 +572,32 @@ class Tensor:
         probs = self.data - self.data.max(axis=axis, keepdims=True)
         np.exp(probs, out=probs)
         np.divide(probs, probs.sum(axis=axis, keepdims=True), out=probs)
-        out = self._make_child(probs, (self,), "softmax")
+        out = self._make_child(probs, (self,), "softmax", attrs={"axis": axis})
         if out.requires_grad:
             def _backward(grad):
                 buf = scratch_pool.take(probs.shape)
-                np.multiply(grad, probs, out=buf)
-                dot = buf.sum(axis=axis, keepdims=True)
-                np.subtract(grad, dot, out=buf)
-                np.multiply(buf, probs, out=buf)
-                self._accumulate(buf)
-                scratch_pool.give(buf)
+                try:
+                    np.multiply(grad, probs, out=buf)
+                    dot = buf.sum(axis=axis, keepdims=True)
+                    np.subtract(grad, dot, out=buf)
+                    np.multiply(buf, probs, out=buf)
+                    self._accumulate(buf)
+                finally:
+                    scratch_pool.give(buf)
             out._backward = _backward
         return out
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         e = scratch_pool.take(shifted.shape)
-        np.exp(shifted, out=e)
-        logsumexp = np.log(e.sum(axis=axis, keepdims=True))
-        scratch_pool.give(e)
+        try:
+            np.exp(shifted, out=e)
+            logsumexp = np.log(e.sum(axis=axis, keepdims=True))
+        finally:
+            scratch_pool.give(e)
         out_data = np.subtract(shifted, logsumexp, out=shifted)
-        out = self._make_child(out_data, (self,), "log_softmax")
+        out = self._make_child(out_data, (self,), "log_softmax",
+                               attrs={"axis": axis})
         if out.requires_grad:
             def _backward(grad):
                 softmax = np.exp(out_data)
@@ -509,7 +611,8 @@ class Tensor:
     def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
         mask = np.asarray(mask, dtype=bool)
         data = np.where(mask, value, self.data)
-        out = self._make_child(data, (self,), "masked_fill")
+        out = self._make_child(data, (self,), "masked_fill",
+                               attrs={"mask": mask, "value": value})
         if out.requires_grad:
             def _backward(grad):
                 self._accumulate(np.where(mask, 0.0, grad))
@@ -519,7 +622,8 @@ class Tensor:
     def clip(self, lo: float, hi: float) -> "Tensor":
         data = np.clip(self.data, lo, hi)
         pass_through = (self.data >= lo) & (self.data <= hi)
-        out = self._make_child(data, (self,), "clip")
+        out = self._make_child(data, (self,), "clip",
+                               attrs={"lo": lo, "hi": hi})
         if out.requires_grad:
             def _backward(grad):
                 self._accumulate(grad * pass_through)

@@ -1,0 +1,391 @@
+"""Tests for the compiled plan-once/run-many executor (``repro.nn.executor``).
+
+Covers the executor's contracts end to end:
+
+- **fp64 parity** — compiled forward and train-step plans replay
+  bit-identically to the dynamic autograd engine, on the trace inputs
+  and on fresh inputs, including the dropout RNG stream;
+- **Reduced precision** — fp32/int8 plans pass the compile-time
+  tolerance gate and stay within the documented error bounds; the int8
+  path actually quantizes the embedding tables and requantizes after
+  in-place weight updates;
+- **Model/engine wiring** — ``CircuitformerExecutor`` matches
+  ``predict_unique`` bitwise across buckets and thread counts (the
+  bucket-parallel merge equals the serial schedule), and executor
+  training in :class:`~repro.runtime.trainer.TrainingEngine` reproduces
+  the dynamic fused run's losses and weights exactly at fp64;
+- **Safety rails** — staleness detection on parameter rebinds, the
+  no-grad guard on replay, and the train-time precision restrictions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.circuitformer import Circuitformer, CircuitformerConfig
+from repro.core.training import TrainingConfig
+from repro.datagen.dataset import PathRecord
+from repro.runtime.trainer import TrainingEngine
+
+TINY_CF = CircuitformerConfig(hidden_layers=1, embedding_size=16,
+                              dim_feedforward=32, max_input_size=64)
+
+
+class SmokeModel(nn.Module):
+    """Embedding + dropout + linear + softmax mix hitting most op kinds."""
+
+    def __init__(self, vocab=11, dim=8, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.emb = nn.Embedding(vocab, dim, rng=rng)
+        self.lin = nn.Linear(dim, dim, rng=rng)
+        self.drop = nn.Dropout(0.25, rng=np.random.default_rng(seed + 1))
+        self.out = nn.Linear(dim, 3, rng=rng)
+
+    def forward(self, ids, pad_mask):
+        x = self.emb(ids)
+        h = self.lin(x).relu()
+        h = h.masked_fill(np.broadcast_to(pad_mask[:, :, None], h.shape), 0.0)
+        h = self.drop(h)
+        w = h.sum(axis=-1).softmax(axis=-1)
+        pooled = (h * w.reshape(*w.shape, 1)).sum(axis=1)
+        return self.out(pooled)
+
+
+def smoke_inputs(rng, batch=4, seq=6, vocab=11):
+    ids = rng.integers(0, vocab, size=(batch, seq))
+    pad_mask = rng.random((batch, seq)) < 0.3
+    return ids.astype(np.int64), pad_mask
+
+
+class TestForwardPlan:
+    def test_fp64_replay_is_bitwise_on_fresh_inputs(self):
+        model = SmokeModel()
+        model.eval()
+        rng = np.random.default_rng(0)
+        ids, mask = smoke_inputs(rng)
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask})
+            for _ in range(3):
+                ids2, mask2 = smoke_inputs(rng)
+                got = plan.replay(ids=ids2, pad_mask=mask2)
+                ref = model.forward(ids2, mask2).numpy()
+                assert np.array_equal(got, ref)
+        assert plan.gate_error == 0.0
+        assert plan.replays >= 3
+
+    def test_replay_requires_no_grad(self):
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(1))
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask})
+        with pytest.raises(RuntimeError, match="no_grad"):
+            plan.replay(ids=ids, pad_mask=mask)
+
+    def test_wrong_inputs_rejected(self):
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(2))
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask})
+            with pytest.raises(nn.ExecutorError, match="inputs"):
+                plan.replay(ids=ids)
+            with pytest.raises(nn.ExecutorError, match="shape"):
+                plan.replay(ids=ids[:2], pad_mask=mask[:2])
+
+    def test_fp64_staleness_on_param_rebind(self):
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(3))
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask})
+            assert not plan.is_stale()
+            p = model.lin.weight
+            p.data = np.asarray(p.data).copy()  # rebind, not in-place write
+            assert plan.is_stale()
+            with pytest.raises(nn.ExecutorError, match="stale"):
+                plan.replay(ids=ids, pad_mask=mask)
+
+    def test_fp64_tracks_inplace_weight_updates(self):
+        # Fused optimizers write parameters in place; fp64 plans alias
+        # the storage, so replays must see the new weights with no
+        # recompile and stay bitwise-equal to the dynamic path.
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(4))
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask})
+            np.subtract(model.lin.weight.data, 0.01,
+                        out=model.lin.weight.data)
+            got = plan.replay(ids=ids, pad_mask=mask)
+            ref = model.forward(ids, mask).numpy()
+        assert np.array_equal(got, ref)
+
+
+class TestReducedPrecision:
+    def test_fp32_within_tolerance(self):
+        model = SmokeModel()
+        model.eval()
+        rng = np.random.default_rng(5)
+        ids, mask = smoke_inputs(rng)
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask},
+                                      precision="fp32")
+            assert plan.gate_error <= nn.DEFAULT_TOLERANCES["fp32"]
+            ids2, mask2 = smoke_inputs(rng)
+            got = plan.replay(ids=ids2, pad_mask=mask2)
+            ref = model.forward(ids2, mask2).numpy()
+        assert got.dtype == np.float32
+        assert nn.max_relative_error(got, ref) <= nn.DEFAULT_TOLERANCES["fp32"]
+
+    def test_fp32_impossible_tolerance_raises(self):
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(6))
+        with nn.no_grad(), pytest.raises(nn.PrecisionToleranceError):
+            nn.compile_forward(model.forward, {"ids": ids, "pad_mask": mask},
+                               precision="fp32", tolerance=0.0)
+
+    def test_int8_quantizes_embeddings_and_requantizes_on_update(self):
+        model = SmokeModel()
+        model.eval()
+        ids, mask = smoke_inputs(np.random.default_rng(7))
+        cache: dict = {}
+        with nn.no_grad():
+            plan = nn.compile_forward(model.forward,
+                                      {"ids": ids, "pad_mask": mask},
+                                      precision="int8", cast_cache=cache)
+            kinds = {k[0] for k in cache}
+            assert "int8" in kinds  # the embedding gather went quantized
+            ref = model.forward(ids, mask).numpy()
+            got = plan.replay(ids=ids, pad_mask=mask).copy()
+            assert nn.max_relative_error(got, ref) <= nn.DEFAULT_TOLERANCES["int8"]
+            # In-place update bumps Parameter.version -> prologue requantizes.
+            np.multiply(model.emb.weight.data, 1.5, out=model.emb.weight.data)
+            got2 = plan.replay(ids=ids, pad_mask=mask)
+            ref2 = model.forward(ids, mask).numpy()
+            assert nn.max_relative_error(got2, ref2) <= nn.DEFAULT_TOLERANCES["int8"]
+            assert not np.array_equal(got, got2)
+
+    def test_int8_training_rejected(self):
+        model = SmokeModel()
+        model.train()
+        ids, mask = smoke_inputs(np.random.default_rng(8))
+        target = np.zeros((len(ids), 3))
+        with pytest.raises(nn.ExecutorError, match="int8"):
+            nn.compile_train_step(
+                lambda ids, pad_mask, target:
+                    nn.mse_loss(model.forward(ids, pad_mask), target),
+                {"ids": ids, "pad_mask": mask, "target": target},
+                precision="int8")
+
+
+class TestTrainStepPlan:
+    def test_fp64_step_matches_dynamic_including_rng(self):
+        def build():
+            return SmokeModel(seed=3)
+
+        rng = np.random.default_rng(9)
+        batches = [smoke_inputs(rng) for _ in range(4)]
+        targets = [rng.normal(size=(4, 3)) for _ in range(4)]
+
+        # Dynamic oracle: fused Adam over the four batches.
+        m_dyn = build()
+        m_dyn.train()
+        opt = nn.Adam(m_dyn.parameters(), lr=0.01)
+        dyn_losses = []
+        for (ids, mask), tgt in zip(batches, targets):
+            opt.zero_grad()
+            loss = nn.mse_loss(m_dyn.forward(ids, mask), tgt)
+            loss.backward(free_graph=True)
+            opt.step(max_grad_norm=5.0)
+            dyn_losses.append(loss.item())
+
+        # Compiled: the compile IS step one, plan.step covers the rest.
+        m_ex = build()
+        m_ex.train()
+        opt = nn.Adam(m_ex.parameters(), lr=0.01)
+        opt.zero_grad()
+        (ids, mask), tgt = batches[0], targets[0]
+        plan, loss0 = nn.compile_train_step(
+            lambda ids, pad_mask, target:
+                nn.mse_loss(m_ex.forward(ids, pad_mask), target),
+            {"ids": ids, "pad_mask": mask, "target": tgt})
+        opt.step(max_grad_norm=5.0)
+        ex_losses = [loss0]
+        for (ids, mask), tgt in zip(batches[1:], targets[1:]):
+            ex_losses.append(plan.step(ids=ids, pad_mask=mask, target=tgt))
+            opt.step(max_grad_norm=5.0)
+
+        assert ex_losses == dyn_losses
+        for p_dyn, p_ex in zip(m_dyn.parameters(), m_ex.parameters()):
+            assert np.array_equal(np.asarray(p_dyn.data), np.asarray(p_ex.data))
+
+    def test_requires_grad_enabled(self):
+        model = SmokeModel()
+        ids, mask = smoke_inputs(np.random.default_rng(10))
+        with nn.no_grad(), pytest.raises(nn.ExecutorError, match="grad"):
+            nn.compile_train_step(
+                lambda ids, pad_mask, target:
+                    nn.mse_loss(model.forward(ids, pad_mask), target),
+                {"ids": ids, "pad_mask": mask, "target": np.zeros((4, 3))})
+
+
+def _make_seqs(vocab, n=33, seed=11, max_len=45):
+    rng = np.random.default_rng(seed)
+    toks = [vocab.token_of(i) for i in range(2, 20)]
+    seqs = []
+    for _ in range(n):
+        length = int(rng.integers(1, max_len))
+        seqs.append(tuple(rng.choice(toks, size=length)))
+    return list(dict.fromkeys(seqs))
+
+
+class TestCircuitformerExecutor:
+    def test_fp64_matches_dynamic_across_buckets(self):
+        model = Circuitformer(TINY_CF)
+        seqs = _make_seqs(model.vocab)
+        ref = model.predict_unique(seqs)
+        ex = model.compile_executor()
+        got = ex.predict_unique(seqs)
+        assert np.array_equal(got, ref)
+        # Warm replays (no recompilation) stay bitwise.
+        assert np.array_equal(ex.predict_unique(seqs), ref)
+        assert ex.stats()["plans"] > 1
+
+    @pytest.mark.parametrize("threads", [2, 8])
+    def test_bucket_parallel_equals_serial_bitwise(self, threads):
+        model = Circuitformer(TINY_CF)
+        seqs = _make_seqs(model.vocab, seed=12)
+        serial = model.compile_executor(threads=1).predict_unique(seqs)
+        parallel = model.compile_executor(threads=threads).predict_unique(seqs)
+        assert np.array_equal(serial, parallel)
+
+    @pytest.mark.parametrize("precision", ["fp32", "int8"])
+    def test_reduced_precision_within_tolerance(self, precision):
+        model = Circuitformer(TINY_CF)
+        seqs = _make_seqs(model.vocab, seed=13)
+        ref = model.predict_unique(seqs)
+        got = model.compile_executor(precision=precision).predict_unique(seqs)
+        # Outputs are physical quantities (inverse-transformed); allow
+        # a looser bound than the scaled-space compile gate.
+        tol = 0.01 if precision == "fp32" else 0.2
+        assert nn.max_relative_error(got, ref) <= tol
+
+    def test_predict_unique_delegates_to_executor(self):
+        model = Circuitformer(TINY_CF)
+        seqs = _make_seqs(model.vocab, seed=14, n=9)
+        ex = model.compile_executor()
+        assert np.array_equal(model.predict_unique(seqs, executor=ex),
+                              model.predict_unique(seqs))
+        other = Circuitformer(TINY_CF, seed=5)
+        with pytest.raises(ValueError, match="different model"):
+            other.predict_unique(seqs, executor=ex)
+
+    def test_executor_survives_inplace_weight_update(self):
+        model = Circuitformer(TINY_CF)
+        seqs = _make_seqs(model.vocab, seed=15, n=7)
+        ex = model.compile_executor()
+        ex.predict_unique(seqs)
+        w = model.head.steps[0].weight
+        np.add(w.data, 0.01, out=w.data)
+        assert np.array_equal(ex.predict_unique(seqs),
+                              model.predict_unique(seqs))
+
+    def test_bad_args(self):
+        model = Circuitformer(TINY_CF)
+        with pytest.raises(ValueError, match="precision"):
+            model.compile_executor(precision="fp16")
+        with pytest.raises(ValueError, match="threads"):
+            model.compile_executor(threads=0)
+
+
+def _records(vocab, n=36, seed=21):
+    rng = np.random.default_rng(seed)
+    toks = [vocab.token_of(i) for i in range(2, 20)]
+    recs = []
+    for _ in range(n):
+        length = int(rng.integers(2, 28))
+        recs.append(PathRecord(tuple(rng.choice(toks, size=length)),
+                               float(rng.uniform(10, 500)),
+                               float(rng.uniform(1, 50)),
+                               float(rng.uniform(0.01, 2.0))))
+    return recs
+
+
+class TestExecutorTraining:
+    def test_fp64_executor_training_is_bitwise(self):
+        cfg = TrainingConfig(circuitformer_epochs=2, circuitformer_batch=16,
+                             bucketed=True)
+        records = _records(Circuitformer(TINY_CF).vocab)
+
+        m_dyn = Circuitformer(TINY_CF, seed=7)
+        h_dyn = TrainingEngine(bucketed=True).train_circuitformer(
+            m_dyn, records, cfg)
+
+        m_ex = Circuitformer(TINY_CF, seed=7)
+        engine = TrainingEngine(bucketed=True, executor=True)
+        h_ex = engine.train_circuitformer(m_ex, records, cfg)
+
+        assert [(s.train_loss, s.val_loss) for s in h_dyn] == \
+               [(s.train_loss, s.val_loss) for s in h_ex]
+        for p_dyn, p_ex in zip(m_dyn.parameters(), m_ex.parameters()):
+            assert np.array_equal(np.asarray(p_dyn.data), np.asarray(p_ex.data))
+        assert engine.last_profile.phase_seconds["plan_step"] >= 0.0
+
+    def test_fp32_executor_training_close(self):
+        cfg = TrainingConfig(circuitformer_epochs=2, circuitformer_batch=16,
+                             bucketed=True)
+        records = _records(Circuitformer(TINY_CF).vocab, seed=22)
+
+        m_dyn = Circuitformer(TINY_CF, seed=7)
+        h_dyn = TrainingEngine(bucketed=True).train_circuitformer(
+            m_dyn, records, cfg)
+        m_ex = Circuitformer(TINY_CF, seed=7)
+        h_ex = TrainingEngine(bucketed=True, executor=True,
+                              precision="fp32").train_circuitformer(
+            m_ex, records, cfg)
+        assert h_ex[-1].train_loss == pytest.approx(h_dyn[-1].train_loss,
+                                                    rel=1e-3)
+
+    def test_executor_requires_fused(self):
+        with pytest.raises(ValueError, match="fused"):
+            TrainingEngine(executor=True, fused=False)
+
+    def test_executor_rejects_int8(self):
+        with pytest.raises(ValueError, match="precision"):
+            TrainingEngine(executor=True, precision="int8")
+
+    def test_from_config_carries_executor_fields(self):
+        cfg = TrainingConfig(bucketed=True, executor=True, precision="fp32")
+        engine = TrainingEngine.from_config(cfg)
+        assert engine.executor and engine.precision == "fp32"
+
+
+class TestNoGradHelpers:
+    def test_assert_no_grad(self):
+        with pytest.raises(RuntimeError, match="no_grad"):
+            nn.assert_no_grad("test context")
+        with nn.no_grad():
+            nn.assert_no_grad("test context")  # no raise
+
+    def test_no_grad_decorator_forms(self):
+        @nn.no_grad
+        def bare():
+            return nn.is_grad_enabled()
+
+        @nn.no_grad()
+        def called():
+            return nn.is_grad_enabled()
+
+        assert bare() is False and called() is False
+        assert nn.is_grad_enabled() is True

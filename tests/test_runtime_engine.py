@@ -259,6 +259,54 @@ class TestActivityResolution:
         with pytest.raises(ValueError):
             resolve_activity_maps(graphs[:3], [{1: 0.1}])
 
+    def test_sequence_all_none_dict_warns_and_normalizes(self, graphs):
+        # A name-keyed mapping of all-None values slipped into the
+        # sequence slot: misaligned with the design at its position.
+        stray = {graphs[1].name: None}
+        with pytest.warns(UserWarning, match="sequence form"):
+            resolved = resolve_activity_maps(graphs[:2], [stray, None])
+        assert resolved == [None, None]
+
+    def test_sequence_all_none_dict_matching_name_is_silent(self, graphs):
+        import warnings as _warnings
+
+        entry = {graphs[0].name: None}
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            resolved = resolve_activity_maps(graphs[:2], [entry, None])
+        assert resolved == [None, None]
+
+    def test_sequence_real_activity_dict_untouched(self, graphs):
+        # Entries with actual activity values must pass through verbatim.
+        entry = {3: 0.2, 7: None}
+        resolved = resolve_activity_maps(graphs[:2], [entry, None])
+        assert resolved == [entry, None]
+
+
+class TestExecutorEngine:
+    def test_fp64_executor_predictions_bitwise(self, tiny_sns, graphs):
+        """The compiled executor path shares cache entries with the
+        dynamic path because its fp64 outputs are bit-identical."""
+        sns, _ = tiny_sns
+        plain = BatchPredictor(sns, caching=False).predict_batch(graphs[:3])
+        compiled = BatchPredictor(sns, caching=False, executor=True,
+                                  threads=2).predict_batch(graphs[:3])
+        for a, b in zip(plain, compiled):
+            assert (a.timing_ps, a.area_um2, a.power_mw) == \
+                   (b.timing_ps, b.area_um2, b.power_mw)
+
+    def test_reduced_precision_gets_own_cache_rows(self, tiny_sns, graphs):
+        sns, _ = tiny_sns
+        cache = PredictionCache()
+        BatchPredictor(sns, cache=cache).predict_batch(graphs[:1])
+        engine8 = BatchPredictor(sns, cache=cache, executor=True,
+                                 precision="int8")
+        engine8.predict_batch(graphs[:1])
+        # Different precision must not hit the fp64 entry.
+        assert cache.stats.misses == 2
+        engine8.predict_batch(graphs[:1])
+        assert cache.stats.memory_hits == 1
+
 
 class TestParallelDataset:
     def test_matches_serial_builder(self, tiny_sns):
