@@ -5,7 +5,8 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, fields
 
-__all__ = ["BRANCH_PREDICTORS", "BoomConfig", "full_design_space", "TABLE10"]
+__all__ = ["BRANCH_PREDICTORS", "BoomConfig", "full_design_space", "TABLE10",
+           "EXTENDED_SPACE", "boom_grid", "extended_grid"]
 
 BRANCH_PREDICTORS = ("tage-l", "boom2", "alpha21264")
 
@@ -22,9 +23,29 @@ TABLE10: dict[str, tuple] = {
 }
 
 
+# Inclusive bounds per integer parameter (the union of TABLE10 and
+# EXTENDED_SPACE below; the generator is width-generic inside them).
+_RANGES: dict[str, tuple[int, int]] = {
+    "core_width": (1, 4),
+    "memory_ports": (1, 2),
+    "fetch_width": (2, 8),
+    "rob_size": (16, 128),
+    "int_regs": (32, 128),
+    "issue_slots": (4, 32),
+    "dcache_ways": (1, 8),
+}
+
+
 @dataclass(frozen=True)
 class BoomConfig:
-    """One point in the 2592-design BOOM space."""
+    """One point in the BOOM configuration space.
+
+    Validation admits the Table 10 values *and* the finer-grained
+    :data:`EXTENDED_SPACE` axes the streaming DSE engine sweeps —
+    structural parameters are range-checked (the generator handles any
+    in-range value), while the branch predictor must name a known
+    implementation.
+    """
 
     branch_predictor: str = "tage-l"
     core_width: int = 2
@@ -36,11 +57,19 @@ class BoomConfig:
     dcache_ways: int = 4
 
     def __post_init__(self):
+        if self.branch_predictor not in BRANCH_PREDICTORS:
+            raise ValueError(
+                f"branch_predictor={self.branch_predictor!r} not one of "
+                f"{BRANCH_PREDICTORS}")
         for f in fields(self):
+            if f.name == "branch_predictor":
+                continue
             value = getattr(self, f.name)
-            if value not in TABLE10[f.name]:
+            lo, hi = _RANGES[f.name]
+            if not isinstance(value, int) or not lo <= value <= hi:
                 raise ValueError(
-                    f"{f.name}={value!r} not in Table 10 range {TABLE10[f.name]}")
+                    f"{f.name}={value!r} outside the supported range "
+                    f"[{lo}, {hi}]")
 
     @property
     def name(self) -> str:
@@ -54,3 +83,33 @@ def full_design_space() -> list[BoomConfig]:
     keys = list(TABLE10)
     combos = itertools.product(*(TABLE10[k] for k in keys))
     return [BoomConfig(**dict(zip(keys, combo))) for combo in combos]
+
+
+# A BOOM-style space three orders of magnitude past Table 10 (~1.12M
+# combinations): the same microarchitectural axes at a finer grain.
+# ``BoomCore`` accepts any of these values — the grid exists for the
+# streaming DSE engine, which never materializes it.
+EXTENDED_SPACE: dict[str, tuple] = {
+    "branch_predictor": BRANCH_PREDICTORS,
+    "core_width": (1, 2, 3, 4),
+    "memory_ports": (1, 2),
+    "fetch_width": (2, 4, 6, 8),
+    "rob_size": tuple(range(16, 129, 8)),      # 15 values
+    "int_regs": tuple(range(32, 129, 8)),      # 13 values
+    "issue_slots": tuple(range(4, 33, 2)),     # 15 values
+    "dcache_ways": (1, 2, 4, 8),
+}
+
+
+def boom_grid():
+    """The Table 10 space as a combinatorial :class:`ParameterGrid`."""
+    from ..dse import ParameterGrid
+
+    return ParameterGrid(dict(TABLE10))
+
+
+def extended_grid():
+    """The ~1.12M-point extended space as a :class:`ParameterGrid`."""
+    from ..dse import ParameterGrid
+
+    return ParameterGrid(dict(EXTENDED_SPACE))

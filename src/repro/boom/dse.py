@@ -48,6 +48,10 @@ class DSEResult:
     high_perf: DSEPoint
     power_eff: DSEPoint
     area_eff: DSEPoint
+    # Populated by the budgeted path (BoomDSE.explore): the underlying
+    # repro.dse.engine.EngineResult with the k-objective front, profile,
+    # and finalists.
+    engine_result: object = None
 
     @property
     def pareto_power(self) -> tuple[DSEPoint, ...]:
@@ -61,15 +65,18 @@ class DSEResult:
 
 
 def pareto_front(points, cost_key) -> tuple[DSEPoint, ...]:
-    """Points not dominated in (minimize cost, maximize score)."""
-    ordered = sorted(points, key=lambda p: (cost_key(p), -p.score))
-    front = []
-    best = -np.inf
-    for p in ordered:
-        if p.score > best:
-            front.append(p)
-            best = p.score
-    return tuple(front)
+    """Points not dominated in (minimize cost, maximize score).
+
+    Served by the incremental 2-objective front
+    (:class:`repro.dse.pareto.ParetoFront`); output order (ascending
+    cost) matches the old sort-based extraction exactly.
+    """
+    from ..dse.pareto import ParetoFront
+
+    front = ParetoFront(2, maximize=(False, True))
+    for p in points:
+        front.add((cost_key(p), p.score), p)
+    return tuple(front.items())
 
 
 class BoomDSE:
@@ -149,4 +156,55 @@ class BoomDSE:
             high_perf=max(normalized, key=lambda p: p.score),
             power_eff=max(normalized, key=lambda p: p.perf_per_watt),
             area_eff=max(normalized, key=lambda p: p.perf_per_area),
+        )
+
+    # ------------------------------------------------------------------ #
+    def explore(self, grid=None, budget: int = 4096,
+                verbose: bool = False, **engine_config) -> "DSEResult":
+        """Budgeted streaming exploration of a BOOM parameter grid.
+
+        Instead of materializing and evaluating every configuration
+        (:meth:`run` — the parity oracle), this drives the
+        :class:`repro.dse.engine.ExplorationEngine`: seeded lazy
+        sampling plus Pareto-guided proposals, surrogate screening, and
+        chunked batched prediction, so spaces like the ~1.12M-point
+        :func:`repro.boom.extended_grid` stay tractable.  ``grid``
+        defaults to the Table 10 space; every
+        :class:`~repro.dse.engine.EngineConfig` field is accepted as a
+        keyword.  Returns a :class:`DSEResult` over the rung-1-evaluated
+        configurations (scores normalized so the best is 1.0), with the
+        engine result attached as ``result.engine_result``.
+        """
+        from ..dse.engine import EngineConfig, ExplorationEngine
+        from .config import boom_grid
+
+        if self.predictor is None:
+            raise ValueError("budgeted exploration needs an SNS predictor")
+        grid = grid if grid is not None else boom_grid()
+
+        def factory(**params):
+            return BoomCore(BoomConfig(**params))
+
+        def score(params, timing_ps, area_um2, power_mw):
+            return self.perf_model.score(BoomConfig(**params),
+                                         1000.0 / max(timing_ps, 1.0))
+
+        engine = ExplorationEngine(
+            factory, self.predictor, grid, score=score,
+            config=EngineConfig(budget=budget, **engine_config),
+            frontend_cache=self.frontend_cache)
+        eresult = engine.explore(verbose=verbose)
+
+        points = [DSEPoint(BoomConfig(**p.params), p.timing_ps, p.area_um2,
+                           p.power_mw, p.score) for p in eresult.points]
+        top = max(p.score for p in points)
+        normalized = [DSEPoint(p.config, p.timing_ps, p.area_um2, p.power_mw,
+                               p.score / top) for p in points]
+        return DSEResult(
+            points=tuple(normalized),
+            runtime_s=eresult.runtime_s,
+            high_perf=max(normalized, key=lambda p: p.score),
+            power_eff=max(normalized, key=lambda p: p.perf_per_watt),
+            area_eff=max(normalized, key=lambda p: p.perf_per_area),
+            engine_result=eresult,
         )

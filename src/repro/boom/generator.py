@@ -10,6 +10,8 @@ data-cache way structure.  Every Table 10 parameter changes the hardware
 
 from __future__ import annotations
 
+from dataclasses import fields
+
 from ..hdl import (
     Circuit,
     Module,
@@ -67,9 +69,13 @@ class BoomCore(Module):
     """Structural OoO core for one :class:`BoomConfig`."""
 
     def __init__(self, config: BoomConfig):
-        super().__init__(**{f: getattr(config, f) for f in (
-            "core_width", "memory_ports", "fetch_width", "rob_size",
-            "int_regs", "issue_slots", "dcache_ways")})
+        # Every Table 10 field — including branch_predictor — changes the
+        # elaborated hardware, so all of them must be in ``params``: the
+        # front-end caches fingerprint Modules by (class source, params),
+        # and omitting a structural parameter would alias distinct
+        # configurations onto one cached graph.
+        super().__init__(**{f.name: getattr(config, f.name)
+                            for f in fields(BoomConfig)})
         self.config = config
 
     @property

@@ -18,6 +18,11 @@ predict MODEL FILE.v [FILE2.v ...]
                   Predict one or more Verilog designs with a trained
                   model through the batched runtime (``--cache-dir``
                   persists the prediction cache across invocations).
+dse MODEL         Budgeted streaming DSE over the BOOM space
+                  (``--space boom|extended --budget N --fidelity F
+                  --chunk N --seed N --profile``): seeded lazy sampling,
+                  surrogate screening, chunked SNS prediction, and an
+                  incremental Pareto front.
 paths FILE.v      Sample complete circuit paths from a design.
 compile FILE.v    Compile a design through the array front end (CSR
                   GraphIR); ``--cache-dir`` persists the compile cache
@@ -143,6 +148,54 @@ def _cmd_predict(args) -> int:
         stats = cache.stats
         print(f"\n[{len(preds)} designs; cache: {stats.memory_hits} memory / "
               f"{stats.disk_hits} disk hits, {stats.misses} misses]")
+    return 0
+
+
+def _cmd_dse(args) -> int:
+    import json
+
+    from .boom import BoomDSE, boom_grid, extended_grid
+    from .core.persistence import load_sns
+
+    sns = load_sns(args.model)
+    grid = extended_grid() if args.space == "extended" else boom_grid()
+    predict_budget = max(1, int(round(args.budget * args.fidelity)))
+    dse = BoomDSE(predictor=sns)
+    result = dse.explore(
+        grid=grid, budget=args.budget, predict_budget=predict_budget,
+        synth_budget=args.synth_finalists, chunk=args.chunk,
+        seed=args.seed, verbose=args.verbose)
+    eng = result.engine_result
+
+    print(f"space:    {args.space} ({len(grid)} configurations)")
+    print(f"budget:   {args.budget} candidates, fidelity {args.fidelity:.2f} "
+          f"({predict_budget} SNS evaluations)")
+    print(f"explored: {len(result.points)} configurations in "
+          f"{result.runtime_s:.2f}s "
+          f"({eng.profile.candidates / max(result.runtime_s, 1e-9):.0f} "
+          f"configs/sec)")
+    print(f"front:    {len(eng.front)} non-dominated designs "
+          f"(timing/area/power/score)")
+    for label, point in (("HighPerf", result.high_perf),
+                         ("PowerEff", result.power_eff),
+                         ("AreaEff", result.area_eff)):
+        c = point.config
+        print(f"  {label:9s} {c.name}  score={point.score:.3f} "
+              f"timing={point.timing_ps:.0f}ps area={point.area_um2:.0f}um2 "
+              f"power={point.power_mw:.2f}mW")
+    if args.profile:
+        print("profile:")
+        print(eng.profile.format())
+    if args.output:
+        rows = [{"params": p.params, "timing_ps": p.timing_ps,
+                 "area_um2": p.area_um2, "power_mw": p.power_mw,
+                 "score": p.score} for p in eng.points]
+        payload = {"space": args.space, "grid_size": len(grid),
+                   "budget": args.budget, "fidelity": args.fidelity,
+                   "chunk": args.chunk, "seed": args.seed,
+                   "profile": eng.profile.as_dict(), "points": rows}
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -296,6 +349,31 @@ def main(argv: list[str] | None = None) -> int:
     p_compile.add_argument("-k", type=int, default=5,
                            help="path-sampling divisor (with --sample)")
     p_compile.set_defaults(fn=_cmd_compile)
+
+    p_dse = sub.add_parser("dse",
+                           help="budgeted streaming design-space exploration")
+    p_dse.add_argument("model", help="trained SNS model (.npz)")
+    p_dse.add_argument("--space", default="boom",
+                       choices=("boom", "extended"),
+                       help="BOOM grid: Table 10 (2592) or extended (~1.12M)")
+    p_dse.add_argument("--budget", type=int, default=4096,
+                       help="configurations drawn from the space")
+    p_dse.add_argument("--fidelity", type=float, default=0.25,
+                       help="fraction of candidates promoted past the "
+                            "surrogate screen to SNS prediction")
+    p_dse.add_argument("--synth-finalists", type=int, default=0,
+                       help="Pareto-front designs re-checked with the "
+                            "reference synthesizer")
+    p_dse.add_argument("--chunk", type=int, default=256,
+                       help="streaming chunk size (bounds live modules)")
+    p_dse.add_argument("--seed", type=int, default=0)
+    p_dse.add_argument("--profile", action="store_true",
+                       help="print per-rung timing and throughput")
+    p_dse.add_argument("--verbose", action="store_true",
+                       help="print per-block progress")
+    p_dse.add_argument("--output", default=None,
+                       help="optional JSON file for the evaluated points")
+    p_dse.set_defaults(fn=_cmd_dse)
 
     p_report = sub.add_parser("report", help="full timing/area/power report")
     p_report.add_argument("design")

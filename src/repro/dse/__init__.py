@@ -1,13 +1,29 @@
-"""``repro.dse`` — generic design-space exploration utilities.
+"""``repro.dse`` — design-space exploration, exhaustive and streaming.
 
 The paper's Section 5.5 usage model, packaged for arbitrary user designs:
 enumerate a :class:`ParameterGrid` over any ``Module``, evaluate each
 point with a trained SNS (or the reference synthesizer), and read off
 Pareto-optimal configurations.
+
+Two drivers share that recipe:
+
+- :class:`DesignSpaceExplorer` — the exhaustive sweep (every point
+  evaluated, streamed in chunks).  The parity oracle for small grids.
+- :class:`ExplorationEngine` — the streaming budgeted engine for 10^6+
+  spaces: lazy seeded sampling plus Pareto-guided proposals, a
+  multi-fidelity successive-halving ladder (surrogate screen -> batched
+  prediction -> reference synthesis), delta-elaboration, and an
+  incremental k-objective :class:`ParetoFront`.
 """
 
 from .grid import ParameterGrid
-from .explorer import DesignSpaceExplorer, EvaluatedDesign, ExplorationResult
+from .pareto import ParetoFront, brute_force_front, hypervolume
+from .explorer import (DesignSpaceExplorer, EvaluatedDesign,
+                       ExplorationResult, pareto_points)
+from .engine import EngineConfig, EngineProfile, EngineResult, ExplorationEngine
 
 __all__ = ["ParameterGrid", "DesignSpaceExplorer", "EvaluatedDesign",
-           "ExplorationResult"]
+           "ExplorationResult", "pareto_points",
+           "ParetoFront", "brute_force_front", "hypervolume",
+           "EngineConfig", "EngineProfile", "EngineResult",
+           "ExplorationEngine"]

@@ -4,13 +4,23 @@ The paper's usage model (Section 5.5): "a parameterizable design is first
 compiled with combinations of design parameters to form fixed RTL
 designs" — :class:`ParameterGrid` enumerates those combinations for any
 ``Module`` subclass.
+
+The grid is *combinatorial*, never materialized: every point has a
+mixed-radix index in ``range(len(grid))``, and :meth:`point_at` /
+:meth:`decode_indices` turn indices back into parameter bindings without
+enumerating the Cartesian product.  That is what lets the streaming DSE
+engine (:mod:`repro.dse.engine`) sample a 10^6+ space with O(sample)
+memory.
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
+
+import numpy as np
 
 __all__ = ["ParameterGrid"]
 
@@ -39,18 +49,127 @@ class ParameterGrid:
             size *= len(values)
         return size
 
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.parameters)
+
+    @property
+    def radices(self) -> tuple[int, ...]:
+        """Number of choices per parameter, in declaration order."""
+        return tuple(len(v) for v in self.parameters.values())
+
     def __iter__(self) -> Iterator[dict[str, Any]]:
         keys = list(self.parameters)
         for combo in itertools.product(*(self.parameters[k] for k in keys)):
             yield dict(zip(keys, combo))
 
-    def subset(self, constraint: Callable[[dict], bool] | None = None,
-               stride: int = 1) -> list[dict[str, Any]]:
-        """Enumerate points, optionally filtered and strided."""
+    # -- combinatorial indexing ---------------------------------------- #
+    # Index order matches ``__iter__``/``itertools.product``: the LAST
+    # parameter varies fastest (big-endian mixed radix).
+    def point_at(self, index: int) -> dict[str, Any]:
+        """The ``index``-th point of the product, without enumeration."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"index {index} out of range for {len(self)} points")
+        keys = list(self.parameters)
+        digits = {}
+        for name in reversed(keys):
+            values = self.parameters[name]
+            index, digit = divmod(index, len(values))
+            digits[name] = values[digit]
+        return {name: digits[name] for name in keys}
+
+    def index_of(self, params: dict[str, Any]) -> int:
+        """Inverse of :meth:`point_at` (raises if a value is off-grid)."""
+        index = 0
+        for name, values in self.parameters.items():
+            index = index * len(values) + values.index(params[name])
+        return index
+
+    def decode_indices(self, indices) -> np.ndarray:
+        """Vectorized ``point_at``: (n,) indices -> (n, num_params) digit
+        matrix, where column j holds positions into the j-th value tuple.
+
+        This is the zero-object form the DSE engine's screening rung
+        consumes: a million candidates become one int matrix, and only
+        survivors are ever turned into parameter dicts.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise IndexError(f"indices out of range for {len(self)} points")
+        radices = self.radices
+        digits = np.empty((idx.shape[0], len(radices)), dtype=np.int64)
+        for j in range(len(radices) - 1, -1, -1):
+            idx, digits[:, j] = np.divmod(idx, radices[j])
+        return digits
+
+    def neighbors(self, index: int) -> list[int]:
+        """Indices one parameter step away (±1 position per dimension).
+
+        The move set of the engine's guided local search: deterministic
+        order (dimension-major, minus before plus), no enumeration.
+        """
+        digits = self.decode_indices([index])[0]
+        radices = self.radices
+        out = []
+        for j, radix in enumerate(radices):
+            for step in (-1, 1):
+                d = digits[j] + step
+                if 0 <= d < radix:
+                    moved = digits.copy()
+                    moved[j] = d
+                    idx = 0
+                    for dj, rj in zip(moved, radices):
+                        idx = idx * rj + int(dj)
+                    out.append(idx)
+        return out
+
+    def points_at(self, indices) -> list[dict[str, Any]]:
+        """Materialize parameter dicts for a (small) batch of indices."""
+        names = self.names
+        values = [self.parameters[n] for n in names]
+        return [{n: v[d] for n, v, d in zip(names, values, row)}
+                for row in self.decode_indices(indices)]
+
+    # -- lazy subsets and seeded samples -------------------------------- #
+    def iter_subset(self, constraint: Callable[[dict], bool] | None = None,
+                    stride: int = 1) -> Iterator[dict[str, Any]]:
+        """Lazily yield points, optionally filtered and strided.
+
+        Never materializes the product: points stream one at a time, the
+        constraint is applied on the fly, and the stride counts
+        *surviving* points (matching the old eager ``subset``).
+        """
         if stride < 1:
             raise ValueError(f"stride must be >= 1: {stride}")
-        points = [p for p in self if constraint is None or constraint(p)]
-        return points[::stride]
+        kept = 0
+        for point in self:
+            if constraint is None or constraint(point):
+                if kept % stride == 0:
+                    yield point
+                kept += 1
+
+    def subset(self, constraint: Callable[[dict], bool] | None = None,
+               stride: int = 1) -> list[dict[str, Any]]:
+        """Eager form of :meth:`iter_subset` (kept for small grids)."""
+        return list(self.iter_subset(constraint=constraint, stride=stride))
+
+    def sample(self, n: int, seed: int = 0) -> list[dict[str, Any]]:
+        """``n`` distinct points drawn uniformly without replacement.
+
+        Sampling happens in *index* space (``random.sample`` over a lazy
+        ``range``), so memory is O(n) no matter how large the product is;
+        a fixed seed gives the same points in the same order.
+        """
+        return self.points_at(self.sample_indices(n, seed))
+
+    def sample_indices(self, n: int, seed: int = 0) -> list[int]:
+        """The index form of :meth:`sample` (what the engine streams)."""
+        if n < 0:
+            raise ValueError(f"sample size must be >= 0: {n}")
+        total = len(self)
+        if n >= total:
+            return list(range(total))
+        return random.Random(seed).sample(range(total), n)
 
     def describe(self) -> str:
         lines = [f"{name}: {', '.join(map(str, values))} ({len(values)})"

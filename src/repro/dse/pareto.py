@@ -1,0 +1,216 @@
+"""Incremental k-objective Pareto-front maintenance and hypervolume.
+
+The exhaustive explorers extracted 2-objective frontiers with a post-hoc
+sort over the full evaluated set.  The streaming DSE engine cannot do
+that — it never holds the full set — so :class:`ParetoFront` maintains
+the non-dominated set *online*: each candidate is checked against (and
+may evict members of) the current front only.
+
+All objectives are normalized to **minimization** internally; pass
+``maximize`` flags per objective.  The front is kept sorted by the first
+objective, which makes the 2-objective dominance check a pure
+``bisect`` (O(log n)) and prunes the k>2 check to the prefix of members
+whose first objective does not exceed the candidate's (points right of
+the candidate in a strictly-sorted front cannot dominate it).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ParetoFront", "brute_force_front", "hypervolume"]
+
+
+def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True if ``a`` dominates ``b`` (all <=, at least one <)."""
+    not_worse = all(x <= y for x, y in zip(a, b))
+    return not_worse and any(x < y for x, y in zip(a, b))
+
+
+class ParetoFront:
+    """An online non-dominated set over k minimized objectives.
+
+    Parameters
+    ----------
+    num_objectives:
+        k >= 2.
+    maximize:
+        Optional per-objective flags; ``True`` entries are negated on the
+        way in (and back on the way out via :meth:`objectives`).
+    """
+
+    def __init__(self, num_objectives: int,
+                 maximize: Sequence[bool] | None = None):
+        if num_objectives < 2:
+            raise ValueError(f"need >= 2 objectives: {num_objectives}")
+        if maximize is not None and len(maximize) != num_objectives:
+            raise ValueError("maximize flags must match num_objectives")
+        self.k = num_objectives
+        self._signs = tuple(-1.0 if (maximize and maximize[i]) else 1.0
+                            for i in range(num_objectives))
+        # Members sorted by (obj0, obj1, ...) — tuples of minimized
+        # objectives; payloads live in a parallel dict keyed by the
+        # objective tuple (strict duplicates collapse onto one entry).
+        self._keys: list[tuple[float, ...]] = []
+        self._items: dict[tuple[float, ...], Any] = {}
+
+    # ------------------------------------------------------------------ #
+    def _to_internal(self, values: Sequence[float]) -> tuple[float, ...]:
+        if len(values) != self.k:
+            raise ValueError(f"expected {self.k} objectives, got {len(values)}")
+        return tuple(s * float(v) for s, v in zip(self._signs, values))
+
+    def _dominated_by_front(self, key: tuple[float, ...]) -> bool:
+        keys = self._keys
+        if not keys:
+            return False
+        if self.k == 2:
+            # Sorted by obj0: the best candidate dominator is the member
+            # with the largest obj0 <= key[0].  Because the maintained
+            # front is mutually non-dominated, obj1 strictly decreases
+            # with obj0, so that single member minimizes obj1 over the
+            # prefix — one O(log n) lookup decides dominance.
+            i = bisect_right(keys, (key[0], np.inf))
+            if i == 0:
+                return False
+            left = keys[i - 1]
+            return _dominates(left, key)
+        # k > 2: only members with obj0 <= key[0] can dominate; scan that
+        # bisect-bounded prefix (fronts stay small in practice).
+        i = bisect_right(keys, (key[0],) + (np.inf,) * (self.k - 1))
+        return any(_dominates(keys[j], key) for j in range(i))
+
+    def dominated(self, values: Sequence[float]) -> bool:
+        """Would ``values`` be dominated by the current front?"""
+        return self._dominated_by_front(self._to_internal(values))
+
+    def add(self, values: Sequence[float], item: Any = None) -> bool:
+        """Offer a point; returns True if it joined the front.
+
+        Members the new point dominates are evicted.  An exact duplicate
+        of an existing member keeps the incumbent (first-seen wins,
+        matching the legacy sort-based extraction) and returns False.
+        """
+        key = self._to_internal(values)
+        if key in self._items:
+            return False
+        if self._dominated_by_front(key):
+            return False
+        # Evict members the newcomer dominates.  Only members with
+        # obj0 >= key[0] are candidates; for k == 2 they form a
+        # contiguous run (obj1 decreases along the sorted front, so the
+        # dominated members are exactly the prefix of that suffix whose
+        # obj1 >= key[1]).
+        start = bisect_left(self._keys, key)
+        if self.k == 2:
+            stop = start
+            while stop < len(self._keys) and self._keys[stop][1] >= key[1]:
+                stop += 1
+            doomed = self._keys[start:stop]
+        else:
+            doomed = [k2 for k2 in self._keys[start:] if _dominates(key, k2)]
+        for k2 in doomed:
+            self._keys.remove(k2)
+            del self._items[k2]
+        insort(self._keys, key)
+        self._items[key] = item
+        return True
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __bool__(self) -> bool:
+        return bool(self._keys)
+
+    def items(self) -> list[Any]:
+        """Payloads in front order (ascending first objective)."""
+        return [self._items[k] for k in self._keys]
+
+    def objectives(self) -> np.ndarray:
+        """(n, k) objective matrix in the *caller's* orientation."""
+        if not self._keys:
+            return np.zeros((0, self.k))
+        return np.array(self._keys) * np.array(self._signs)
+
+    def minimized(self) -> np.ndarray:
+        """(n, k) matrix with every objective minimized (internal form)."""
+        if not self._keys:
+            return np.zeros((0, self.k))
+        return np.array(self._keys)
+
+    def hypervolume(self, reference: Sequence[float]) -> float:
+        """Hypervolume dominated by the front up to ``reference``.
+
+        The reference is given in the caller's orientation and must be
+        weakly worse than every member in every objective.
+        """
+        ref = self._to_internal(reference)
+        return hypervolume(self.minimized(), ref)
+
+
+# ---------------------------------------------------------------------- #
+def brute_force_front(points: np.ndarray) -> np.ndarray:
+    """Boolean non-dominated mask via the O(n^2) definition (minimize all).
+
+    The oracle the incremental front is tested against.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = pts.shape[0]
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        for j in range(n):
+            if i != j and _dominates(tuple(pts[j]), tuple(pts[i])):
+                mask[i] = False
+                break
+    # Collapse exact duplicates onto one representative, matching the
+    # incremental front's de-duplicating behavior.
+    seen: set[tuple[float, ...]] = set()
+    for i in range(n):
+        if mask[i]:
+            key = tuple(pts[i])
+            if key in seen:
+                mask[i] = False
+            else:
+                seen.add(key)
+    return mask
+
+
+def hypervolume(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Hypervolume of a minimized, mutually non-dominated set.
+
+    Exact for any k via recursive dimension sweep: slice along the first
+    objective and multiply each slab's width by the hypervolume of the
+    remaining objectives of the points alive in that slab.  Costs
+    O(n^2 * k) — fronts here hold tens of points, so exactness is cheap.
+    """
+    pts = np.asarray(points, dtype=float)
+    ref = np.asarray(tuple(reference), dtype=float)
+    if pts.size == 0:
+        return 0.0
+    pts = pts[np.all(pts <= ref, axis=1)]
+    if pts.size == 0:
+        return 0.0
+    if pts.shape[1] == 1:
+        return float(ref[0] - pts[:, 0].min())
+    order = np.argsort(pts[:, 0], kind="stable")
+    pts = pts[order]
+    total = 0.0
+    cuts = list(pts[:, 0]) + [ref[0]]
+    for i in range(len(pts)):
+        width = cuts[i + 1] - cuts[i]
+        if width <= 0:
+            continue
+        alive = pts[: i + 1, 1:]
+        total += width * hypervolume(_nondominated(alive), ref[1:])
+    return float(total)
+
+
+def _nondominated(points: np.ndarray) -> np.ndarray:
+    mask = brute_force_front(points)
+    return np.asarray(points)[mask]

@@ -22,6 +22,7 @@ Layers a batched, cached serving engine over the core SNS predictor:
 from .cache import CacheStats, PredictionCache
 from .engine import BatchPredictor, resolve_activity_maps
 from .frontend import (
+    DeltaElaborator,
     FrontendCache,
     FrontendProfile,
     compile_design,
@@ -52,7 +53,7 @@ __all__ = [
     "fingerprint_library", "fingerprint_model", "fingerprint_sampler",
     "derive_design_seed", "parallel_sample_path_dataset",
     "parallel_build_design_dataset",
-    "FrontendCache", "FrontendProfile",
+    "FrontendCache", "FrontendProfile", "DeltaElaborator",
     "compile_design", "compile_module", "compile_source",
     "compile_source_profiled",
     "fingerprint_frontend_module", "fingerprint_frontend_source",

@@ -35,6 +35,7 @@ from .fingerprint import fingerprint_sampler
 __all__ = [
     "FrontendProfile",
     "FrontendCache",
+    "DeltaElaborator",
     "fingerprint_frontend_source",
     "fingerprint_frontend_module",
     "compile_source",
@@ -103,15 +104,12 @@ def fingerprint_frontend_source(source: str, top: str | None = None,
 _MODULE_SOURCE_FP: dict[type, str] = {}
 
 
-def fingerprint_frontend_module(module) -> str:
-    """SHA-256 over a :class:`repro.hdl.Module`'s class source + parameters.
+def _class_source_fp(cls: type) -> str:
+    """SHA-256 of a class's source text, memoized per class.
 
-    The class *source code* (not just its name) is hashed — memoized per
-    class — so editing ``build()`` invalidates cached graphs.  Classes
-    whose source is unavailable (defined in a REPL) fall back to the
-    qualified name, trading cross-process safety for availability.
+    Classes whose source is unavailable (defined in a REPL) fall back to
+    the qualified name, trading cross-process safety for availability.
     """
-    cls = type(module)
     cls_fp = _MODULE_SOURCE_FP.get(cls)
     if cls_fp is None:
         try:
@@ -120,9 +118,22 @@ def fingerprint_frontend_module(module) -> str:
             text = f"{cls.__module__}.{cls.__qualname__}"
         cls_fp = hashlib.sha256(text.encode()).hexdigest()
         _MODULE_SOURCE_FP[cls] = cls_fp
+    return cls_fp
+
+
+def fingerprint_frontend_module(module, params: dict | None = None) -> str:
+    """SHA-256 over a :class:`repro.hdl.Module`'s class source + parameters.
+
+    The class *source code* (not just its name) is hashed — memoized per
+    class — so editing ``build()`` invalidates cached graphs.  Pass
+    ``params`` to fingerprint a projection of the module's parameters
+    (the delta-elaboration structural key) instead of all of them.
+    """
     h = hashlib.sha256(b"frontend-mod:v1")
-    h.update(cls_fp.encode())
-    h.update(json.dumps(sorted(module.params.items()), default=str).encode())
+    h.update(_class_source_fp(type(module)).encode())
+    if params is None:
+        params = module.params
+    h.update(json.dumps(sorted(params.items()), default=str).encode())
     return h.hexdigest()
 
 
@@ -344,6 +355,138 @@ def compile_module(module, cache: FrontendCache | None = None) -> CompiledGraph:
     if cache is not None:
         cache.put_graph(key, cg)
     return cg
+
+
+class DeltaElaborator:
+    """Delta-elaboration front end for parameter sweeps.
+
+    Neighboring configurations of one parameterizable design share most
+    of their structure; this driver compiles each configuration as a
+    diff against what previous configurations already built, instead of
+    re-elaborating from scratch:
+
+    - **Module sweeps** (:meth:`compile`): the compiled-graph cache key
+      projects the parameter binding onto the class's *structural*
+      parameters (``STRUCTURAL_PARAMS``, when declared — parameters that
+      affect the elaborated hardware, as opposed to score-only or
+      floorplan-only knobs).  Sweeping a non-structural axis compiles
+      the design exactly once.  The first time a projection collapses
+      two distinct bindings of a class, the claim is *verified*: both
+      configurations elaborate and their graph fingerprints must match,
+      so an unsound declaration fails loudly instead of serving a wrong
+      graph.
+
+    - **Verilog sweeps** (:meth:`compile_source`): the source parses
+      once (AST cached per source fingerprint) and every elaboration —
+      any top, any repetition — shares one PR-4
+      :class:`~repro.verilog.elaborator.ElaborationMemo`, so a config
+      re-elaborates only the instances whose (module, parameter binding,
+      port shape) changed; everything unchanged stamps from recorded
+      templates.  Output is node-for-node identical to a fresh
+      elaboration (the memo's contract).
+
+    All compiled graphs land in the shared :class:`FrontendCache`, so
+    the sampled-path tier and the downstream prediction cache compose
+    with both paths.
+    """
+
+    def __init__(self, cache: FrontendCache | None = None,
+                 verify_projections: bool = True):
+        self.cache = cache or FrontendCache()
+        self.verify_projections = verify_projections
+        from ..verilog.elaborator import ElaborationMemo
+
+        self.memo = ElaborationMemo()
+        self._asts: dict[str, object] = {}
+        # Per (class fp, structural key): the full-params fingerprint of
+        # the configuration that actually elaborated — a projection
+        # collapse is detected (and verified once) when a later lookup
+        # arrives with a different full fingerprint.
+        self._projection_owner: dict[str, str] = {}
+        self._verified_classes: set[type] = set()
+        self.stats = {"compiles": 0, "graph_hits": 0, "projection_hits": 0,
+                      "ast_hits": 0, "verified_projections": 0}
+
+    # -- Module path ---------------------------------------------------- #
+    @staticmethod
+    def structural_params(module) -> dict:
+        """The projection of ``module.params`` the graph depends on."""
+        names = getattr(type(module), "STRUCTURAL_PARAMS", None)
+        if names is None:
+            return dict(module.params)
+        unknown = set(names) - set(module.params)
+        if unknown:
+            raise ValueError(
+                f"{type(module).__name__}.STRUCTURAL_PARAMS names unknown "
+                f"parameters: {sorted(unknown)}")
+        return {k: module.params[k] for k in names}
+
+    def compile(self, module) -> CompiledGraph:
+        """Compile a Module, reusing a structural neighbor when possible."""
+        projected = self.structural_params(module)
+        key = fingerprint_frontend_module(module, projected)
+        full_fp = (fingerprint_frontend_module(module)
+                   if len(projected) != len(module.params) else key)
+        cg = self.cache.get_graph(key)
+        if cg is not None:
+            self.stats["graph_hits"] += 1
+            owner = self._projection_owner.get(key)
+            if owner is not None and owner != full_fp:
+                self.stats["projection_hits"] += 1
+                if self.verify_projections and \
+                        type(module) not in self._verified_classes:
+                    self._verified_classes.add(type(module))
+                    self.stats["verified_projections"] += 1
+                    fresh = module.elaborate_compiled()
+                    if fresh.fingerprint() != cg.fingerprint():
+                        raise ValueError(
+                            f"{type(module).__name__}.STRUCTURAL_PARAMS is "
+                            "unsound: two configurations with equal "
+                            "structural projections elaborate to different "
+                            "graphs")
+            return cg
+        self.stats["compiles"] += 1
+        cg = module.elaborate_compiled()
+        self.cache.put_graph(key, cg)
+        self._projection_owner[key] = full_fp
+        return cg
+
+    # -- Verilog path --------------------------------------------------- #
+    def compile_source(self, source: str, top: str | None = None,
+                       include_paths: list[str] | None = None,
+                       defines: dict[str, str] | None = None) -> CompiledGraph:
+        """Compile Verilog text, stamping templates shared across configs.
+
+        The graph tier short-circuits exact repeats; on a miss the
+        (preprocessed) source parses at most once and elaborates with
+        the shared :class:`ElaborationMemo`, so sibling configurations
+        re-elaborate only what changed.
+        """
+        from ..verilog.elaborator import elaborate
+        from ..verilog.parser import parse_source
+
+        source = _preprocess(source, include_paths, defines)
+        key = fingerprint_frontend_source(source, top, defines)
+        cg = self.cache.get_graph(key)
+        if cg is not None:
+            self.stats["graph_hits"] += 1
+            return cg
+        src_fp = hashlib.sha256(source.encode()).hexdigest()
+        file = self._asts.get(src_fp)
+        if file is None:
+            file = parse_source(source)
+            self._asts[src_fp] = file
+        else:
+            self.stats["ast_hits"] += 1
+        self.stats["compiles"] += 1
+        cg = elaborate(file, top, memo=self.memo, compiled=True)
+        self.cache.put_graph(key, cg)
+        return cg
+
+    @property
+    def template_hits(self) -> int:
+        """Instance stampings served from the shared elaboration memo."""
+        return self.memo.hits
 
 
 def compile_design(design, cache: FrontendCache | None = None) -> CompiledGraph:

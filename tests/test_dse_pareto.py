@@ -1,0 +1,190 @@
+"""Tests for the incremental k-objective Pareto front and hypervolume."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import ParetoFront, brute_force_front, hypervolume
+from repro.dse.pareto import _dominates
+
+
+def _front_keys(front: ParetoFront) -> set:
+    return {tuple(row) for row in front.minimized()}
+
+
+def _oracle_keys(points: np.ndarray) -> set:
+    mask = brute_force_front(points)
+    return {tuple(row) for row in np.asarray(points, dtype=float)[mask]}
+
+
+class TestDominates:
+    def test_strict(self):
+        assert _dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_is_not_domination(self):
+        assert not _dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_tradeoff(self):
+        assert not _dominates((1.0, 3.0), (2.0, 2.0))
+        assert not _dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_weak_improvement(self):
+        assert _dominates((1.0, 2.0), (1.0, 3.0))
+
+
+class TestParetoFront:
+    def test_requires_two_objectives(self):
+        with pytest.raises(ValueError):
+            ParetoFront(1)
+
+    def test_wrong_arity_rejected(self):
+        front = ParetoFront(2)
+        with pytest.raises(ValueError):
+            front.add((1.0, 2.0, 3.0))
+
+    def test_maximize_flags_length_checked(self):
+        with pytest.raises(ValueError):
+            ParetoFront(2, maximize=(True,))
+
+    def test_add_and_evict(self):
+        front = ParetoFront(2)
+        assert front.add((5.0, 5.0), "a")
+        assert front.add((1.0, 9.0), "b")
+        assert front.add((9.0, 1.0), "c")
+        assert len(front) == 3
+        # Dominates "a" only.
+        assert front.add((4.0, 4.0), "d")
+        assert set(front.items()) == {"b", "d", "c"}
+
+    def test_dominated_candidate_rejected(self):
+        front = ParetoFront(2)
+        front.add((1.0, 1.0))
+        assert not front.add((2.0, 2.0))
+        assert front.dominated((2.0, 2.0))
+        assert not front.dominated((0.5, 3.0))
+
+    def test_duplicate_keeps_incumbent(self):
+        front = ParetoFront(2)
+        assert front.add((1.0, 2.0), "first")
+        assert not front.add((1.0, 2.0), "second")
+        assert front.items() == ["first"]
+
+    def test_items_in_first_objective_order(self):
+        front = ParetoFront(2)
+        front.add((3.0, 1.0), "c")
+        front.add((1.0, 3.0), "a")
+        front.add((2.0, 2.0), "b")
+        assert front.items() == ["a", "b", "c"]
+
+    def test_maximize_orientation(self):
+        # (minimize cost, maximize score).
+        front = ParetoFront(2, maximize=(False, True))
+        front.add((10.0, 1.0), "cheap-slow")
+        front.add((20.0, 2.0), "dear-fast")
+        front.add((30.0, 1.5), "dominated")
+        assert set(front.items()) == {"cheap-slow", "dear-fast"}
+        objs = front.objectives()
+        assert objs.shape == (2, 2)
+        assert list(objs[:, 0]) == [10.0, 20.0]   # caller's orientation
+
+    def test_empty_front(self):
+        front = ParetoFront(3)
+        assert not front
+        assert len(front) == 0
+        assert front.objectives().shape == (0, 3)
+        assert front.minimized().shape == (0, 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 4), st.integers(1, 60))
+    def test_matches_brute_force(self, seed, k, n):
+        """Incremental front == O(n^2) dominance filter, any k, any order."""
+        rng = np.random.default_rng(seed)
+        # Small integer grid so duplicates and ties actually occur.
+        points = rng.integers(0, 6, size=(n, k)).astype(float)
+        front = ParetoFront(k)
+        for row in points:
+            front.add(tuple(row))
+        assert _front_keys(front) == _oracle_keys(points)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_matches_brute_force_mixed_orientation(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(40, 3))
+        maximize = (False, True, False)
+        front = ParetoFront(3, maximize=maximize)
+        for row in points:
+            front.add(tuple(row))
+        signs = np.array([1.0, -1.0, 1.0])
+        assert _front_keys(front) == _oracle_keys(points * signs)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_insertion_order_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.integers(0, 5, size=(30, 2)).astype(float)
+        a = ParetoFront(2)
+        b = ParetoFront(2)
+        for row in points:
+            a.add(tuple(row))
+        for row in points[::-1]:
+            b.add(tuple(row))
+        assert _front_keys(a) == _front_keys(b)
+
+
+class TestHypervolume:
+    def test_single_point_is_box(self):
+        assert hypervolume([(1.0, 1.0)], (3.0, 4.0)) == pytest.approx(6.0)
+
+    def test_two_point_staircase(self):
+        # Union of [1,4]x[2,4] and [2,4]x[1,4] = 6 + 6 - 4 = 8.
+        pts = [(1.0, 2.0), (2.0, 1.0)]
+        assert hypervolume(pts, (4.0, 4.0)) == pytest.approx(8.0)
+
+    def test_three_dimensional_box(self):
+        assert hypervolume([(0.0, 0.0, 0.0)], (2.0, 3.0, 4.0)) \
+            == pytest.approx(24.0)
+
+    def test_points_beyond_reference_ignored(self):
+        pts = [(1.0, 1.0), (5.0, 0.0)]
+        assert hypervolume(pts, (2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert hypervolume(np.zeros((0, 2)), (1.0, 1.0)) == 0.0
+
+    def test_front_method_respects_orientation(self):
+        front = ParetoFront(2, maximize=(False, True))
+        front.add((1.0, 3.0))
+        front.add((2.0, 5.0))
+        # Internally minimized: (1,-3),(2,-5); ref (4,-1):
+        # [1,4]x[-3,-1] u [2,4]x[-5,-1] = 6 + 8 - 4 = 10.
+        assert front.hypervolume((4.0, 1.0)) == pytest.approx(10.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_monte_carlo_agreement(self, seed):
+        """Exact sweep matches a Monte Carlo estimate of the dominated set."""
+        rng = np.random.default_rng(seed)
+        raw = rng.uniform(0.0, 1.0, size=(12, 3))
+        pts = raw[brute_force_front(raw)]
+        ref = np.ones(3)
+        exact = hypervolume(pts, ref)
+        samples = rng.uniform(0.0, 1.0, size=(20000, 3))
+        dominated = np.zeros(len(samples), dtype=bool)
+        for p in pts:
+            dominated |= np.all(samples >= p, axis=1)
+        assert exact == pytest.approx(dominated.mean(), abs=0.02)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_adding_points_never_shrinks(self, seed):
+        rng = np.random.default_rng(seed)
+        front = ParetoFront(2)
+        ref = (10.0, 10.0)
+        last = 0.0
+        for row in rng.uniform(0.0, 9.0, size=(25, 2)):
+            front.add(tuple(row))
+            hv = front.hypervolume(ref)
+            assert hv >= last - 1e-12
+            last = hv
