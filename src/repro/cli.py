@@ -27,6 +27,14 @@ paths FILE.v      Sample complete circuit paths from a design.
 compile FILE.v    Compile a design through the array front end (CSR
                   GraphIR); ``--cache-dir`` persists the compile cache
                   and ``--profile`` prints per-stage timings.
+serve MODEL       Run the async prediction server: cross-request
+                  micro-batching into the warm BatchPredictor, per-
+                  client rate limits, bounded-queue load shedding, and
+                  JSON metrics on ``/metrics``; SIGINT drains in-flight
+                  requests before exit.
+bench-serve       Drive a running server with N concurrent closed-loop
+                  clients over bundled designs and print requests/sec
+                  and p50/p99 latency.
 export NAME OUT.v Emit a bundled dataset design as Verilog
                   (``export --list`` shows the 41 names).
 """
@@ -197,6 +205,88 @@ def _cmd_dse(args) -> int:
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote {args.output}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .serve import PredictionServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host, port=args.port, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        workers=args.workers, rate_limit=args.rate_limit,
+        request_timeout_s=args.request_timeout,
+        precision=args.precision, executor=args.executor,
+        threads=args.threads, cache_dir=args.cache_dir,
+        serialized=args.serialized, allow_train=not args.no_train)
+    server = PredictionServer(config)
+    server.load_model(args.model, name="default")
+
+    async def main() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        print(f"serving on http://{config.host}:{server.port} "
+              f"(max_batch={config.max_batch}, "
+              f"max_wait={config.max_wait_ms}ms, "
+              f"workers={config.workers}"
+              + (f", rate_limit={config.rate_limit}/s" if config.rate_limit
+                 else "")
+              + (", serialized baseline" if config.serialized else "") + ")",
+              flush=True)  # announce readiness even through a pipe
+        await stop.wait()
+        print("\ndraining in-flight requests...", flush=True)
+        await server.stop(drain_timeout=args.drain_timeout)
+
+    asyncio.run(main())
+    print("server stopped")
+    return 0
+
+
+def _cmd_bench_serve(args) -> int:
+    import json
+
+    from .designs import standard_designs
+    from .serve import ServeClient, run_load
+
+    names = [e.name for e in standard_designs()]
+    if args.designs:
+        names = [n for n in names if n in set(args.designs.split(","))]
+        if not names:
+            print(f"no bundled designs match {args.designs!r}", file=sys.stderr)
+            return 2
+    bodies = [{"design": name} for name in names[:args.requests]]
+    while len(bodies) < args.requests:
+        bodies.append(dict(bodies[len(bodies) % len(names)]))
+
+    probe = ServeClient(args.host, args.port, timeout=10.0)
+    status, health = probe.get("/healthz")
+    probe.close()
+    if status != 200:
+        print(f"server at {args.host}:{args.port} is unhealthy: {health}",
+              file=sys.stderr)
+        return 1
+    print(f"driving {args.clients} clients x {len(bodies)} requests "
+          f"against http://{args.host}:{args.port} "
+          f"(models: {', '.join(health['models'])})")
+    result = run_load(args.host, args.port, bodies, clients=args.clients,
+                      timeout=args.timeout, repeat=args.repeat)
+    doc = result.as_dict()
+    print(f"requests: {doc['requests']} ({doc['ok']} ok) in "
+          f"{doc['wall_s']:.2f}s -> {doc['requests_per_second']:.1f} req/s")
+    lat = doc["latency_ms"]
+    print(f"latency:  p50 {lat['p50']:.1f} ms, p90 {lat['p90']:.1f} ms, "
+          f"p99 {lat['p99']:.1f} ms (mean {lat['mean']:.1f} ms)")
+    if set(doc["statuses"]) - {"200"}:
+        print(f"statuses: {doc['statuses']}")
+    if args.output:
+        Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0 if doc["ok"] == doc["requests"] else 1
 
 
 def _cmd_report(args) -> int:
@@ -374,6 +464,60 @@ def main(argv: list[str] | None = None) -> int:
     p_dse.add_argument("--output", default=None,
                        help="optional JSON file for the evaluated points")
     p_dse.set_defaults(fn=_cmd_dse)
+
+    p_serve = sub.add_parser("serve", help="run the async prediction server")
+    p_serve.add_argument("model", help="trained SNS model (.npz)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8100)
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="micro-batch size flush trigger")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="micro-batch deadline flush trigger")
+    p_serve.add_argument("--max-queue", type=int, default=256,
+                         help="queued requests before 503 load shedding")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="prediction worker threads")
+    p_serve.add_argument("--rate-limit", type=float, default=None,
+                         help="per-client requests/sec (429 beyond; "
+                              "default unlimited)")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request deadline in seconds (504 beyond)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persist prediction/front-end caches here")
+    p_serve.add_argument("--precision", default="fp64",
+                         choices=("fp64", "fp32", "int8"),
+                         help="default inference arithmetic")
+    p_serve.add_argument("--executor", action="store_true",
+                         help="serve through compiled per-bucket kernel plans")
+    p_serve.add_argument("--threads", type=int, default=1,
+                         help="executor bucket-parallel threads")
+    p_serve.add_argument("--serialized", action="store_true",
+                         help="one-request-at-a-time baseline mode "
+                              "(benchmarking)")
+    p_serve.add_argument("--no-train", action="store_true",
+                         help="disable the POST /train endpoint")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         help="seconds to drain in-flight work on SIGINT")
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_bench = sub.add_parser("bench-serve",
+                             help="load-test a running prediction server")
+    p_bench.add_argument("--host", default="127.0.0.1")
+    p_bench.add_argument("--port", type=int, default=8100)
+    p_bench.add_argument("--clients", type=int, default=8,
+                         help="concurrent closed-loop clients")
+    p_bench.add_argument("--requests", type=int, default=41,
+                         help="total /predict requests per pass")
+    p_bench.add_argument("--repeat", type=int, default=1,
+                         help="passes over the work list per client")
+    p_bench.add_argument("--designs", default=None,
+                         help="comma-separated bundled design names "
+                              "(default: all 41)")
+    p_bench.add_argument("--timeout", type=float, default=120.0,
+                         help="client-side request timeout")
+    p_bench.add_argument("--output", default=None,
+                         help="optional JSON file for the load report")
+    p_bench.set_defaults(fn=_cmd_bench_serve)
 
     p_report = sub.add_parser("report", help="full timing/area/power report")
     p_report.add_argument("design")

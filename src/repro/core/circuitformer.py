@@ -385,9 +385,12 @@ class CircuitformerExecutor:
         return out
 
     # -- inference ----------------------------------------------------- #
+    @nn.no_grad
     def _run_bucket(self, bucket: int, idxs: list[int],
                     unique_seqs: list[tuple[str, ...]], batch_size: int,
                     encoding_cache, scaled: np.ndarray) -> None:
+        # no_grad here, not just in predict_unique: grad mode is
+        # thread-local, so pool workers don't inherit the caller's.
         model = self.model
         for lo in range(0, len(idxs), batch_size):
             chunk_idx = idxs[lo:lo + batch_size]

@@ -15,6 +15,7 @@ broadcast operand are reduced back to the operand's shape with
 from __future__ import annotations
 
 import functools
+import threading
 
 import numpy as np
 
@@ -23,11 +24,21 @@ from .pool import scratch_pool
 __all__ = ["Tensor", "tensor", "zeros", "ones", "no_grad", "is_grad_enabled",
            "assert_no_grad"]
 
-_GRAD_ENABLED = True
+
+class _GradMode(threading.local):
+    # Grad mode is per-thread (like torch's): concurrent serve workers
+    # each toggle their own flag, so one worker leaving ``no_grad``
+    # cannot re-enable graph construction under another mid-replay.
+    # Threads spawned *inside* a ``no_grad`` region start back at the
+    # enabled default and must enter ``no_grad`` themselves.
+    enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
-    """Disable graph construction (inference mode).
+    """Disable graph construction (inference mode) for the current thread.
 
     Usable three ways, mirroring ``torch.no_grad``::
 
@@ -38,6 +49,9 @@ class no_grad:
 
         @no_grad()                   # called decorator
         def serve(x): ...
+
+    Like torch's, the mode is thread-local: worker threads spawned
+    inside the block do not inherit it.
     """
 
     def __init__(self, func=None):
@@ -46,14 +60,12 @@ class no_grad:
             functools.update_wrapper(self, func)
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _grad_mode.enabled = self._prev
         return False
 
     def __call__(self, *args, **kwargs):
@@ -74,8 +86,8 @@ class no_grad:
 
 
 def is_grad_enabled() -> bool:
-    """Return whether new operations will be recorded for autodiff."""
-    return _GRAD_ENABLED
+    """Return whether this thread records new operations for autodiff."""
+    return _grad_mode.enabled
 
 
 def assert_no_grad(context: str = "") -> None:
@@ -85,7 +97,7 @@ def assert_no_grad(context: str = "") -> None:
     replay, where a stray enabled-grad op would silently re-introduce
     the per-op object churn the plan exists to eliminate.
     """
-    if _GRAD_ENABLED:
+    if _grad_mode.enabled:
         where = f" in {context}" if context else ""
         raise RuntimeError(
             f"gradients are enabled{where}; wrap the call in nn.no_grad()")
@@ -163,9 +175,10 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        enabled = _grad_mode.enabled
+        self.requires_grad = bool(requires_grad) and enabled
         self._backward = None
-        self._parents = _parents if _GRAD_ENABLED else ()
+        self._parents = _parents if enabled else ()
         self._op = _op
 
     # ------------------------------------------------------------------ #

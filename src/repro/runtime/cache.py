@@ -10,11 +10,19 @@ DSE sweeps of overlapping configuration spaces near-free.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
+
+# Distinct temp-file names for concurrent writers of the same key: the
+# pid separates processes, the counter separates threads.  A shared
+# ``path + ".tmp"`` would let two writers interleave on one temp file
+# and publish a torn entry.
+_TMP_COUNTER = itertools.count()
 
 __all__ = ["CacheStats", "PredictionCache"]
 
@@ -95,15 +103,28 @@ class PredictionCache:
         return None
 
     def put(self, key: str, value: dict) -> None:
-        """Store ``value`` in the memory tier (and disk tier if enabled)."""
+        """Store ``value`` in the memory tier (and disk tier if enabled).
+
+        The disk write is safe under concurrent writers from any number
+        of threads or processes: each writer stages into its own
+        uniquely-named temp file and publishes with an atomic rename, so
+        readers only ever see complete JSON (last writer wins — the
+        values are content-addressed, so every writer carries the same
+        payload anyway).
+        """
         with self._lock:
             self._insert(key, value)
         if self.disk_dir is not None:
             path = self._disk_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(value))
-            tmp.replace(path)  # atomic publish; readers never see partial JSON
+            tmp = path.parent / \
+                f".{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+            try:
+                tmp.write_text(json.dumps(value))
+                tmp.replace(path)  # atomic publish
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
 
     def _insert(self, key: str, value: dict) -> None:
         self._entries[key] = value
@@ -113,11 +134,13 @@ class PredictionCache:
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._entries:
-            return True
+        with self._lock:
+            if key in self._entries:
+                return True
         return (self.disk_dir is not None and self._disk_path(key).is_file())
 
     def clear(self, memory_only: bool = True) -> None:
@@ -127,3 +150,5 @@ class PredictionCache:
         if not memory_only and self.disk_dir is not None and self.disk_dir.is_dir():
             for path in self.disk_dir.glob("*/*.json"):
                 path.unlink(missing_ok=True)
+            for path in self.disk_dir.glob("*/.*.tmp"):
+                path.unlink(missing_ok=True)  # crashed writers' staging files

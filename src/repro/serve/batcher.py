@@ -1,0 +1,249 @@
+"""Cross-request micro-batching: the queue between HTTP and the predictor.
+
+Concurrent ``/predict`` requests — from any number of clients — land in
+one :class:`MicroBatchQueue`.  A single flusher task coalesces them into
+batches and hands each batch to ``run_batch`` (the server wraps a
+``BatchPredictor.predict_batch`` call on a worker thread), where the
+PR-1 engine's cross-design path dedup and length-bucketed pooled
+inference turn N single-design requests into one vectorized pass.
+
+Flush policy is the classic two-trigger rule:
+
+- **size**: the queue reached ``max_batch`` waiters — flush now;
+- **deadline**: the *oldest* waiter has been queued ``max_wait_s`` —
+  flush whatever has accumulated, so a lone request never waits longer
+  than the batching window.
+
+Correctness properties (each regression-tested in isolation):
+
+- **deterministic routing** — result ``i`` of a batch resolves waiter
+  ``i``'s future; payload identity never crosses requests.
+- **cancellation** — a waiter whose future was cancelled (client
+  timeout, dropped connection) is skipped at flush time and consumes no
+  batch slot or compute.
+- **error isolation** — ``run_batch`` may return an ``Exception``
+  instance in any result slot to fail just that request; if the whole
+  batch call raises, the batch is re-run one item at a time so a single
+  poisoned payload cannot take its neighbors down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+__all__ = ["QueueFullError", "MicroBatchQueue"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by :meth:`MicroBatchQueue.submit` when the queue is at capacity."""
+
+
+class _Waiter:
+    __slots__ = ("payload", "future", "deadline")
+
+    def __init__(self, payload, future, deadline):
+        self.payload = payload
+        self.future = future
+        self.deadline = deadline
+
+
+class MicroBatchQueue:
+    """Coalesce concurrent submissions into batched ``run_batch`` calls.
+
+    Parameters
+    ----------
+    run_batch:
+        Async callable ``payloads -> results`` (same length, same
+        order).  A result slot holding an ``Exception`` rejects that
+        waiter only.  Typically a thin wrapper that trampolines onto a
+        thread pool for CPU-bound work.
+    max_batch:
+        Flush as soon as this many waiters are queued.
+    max_wait_s:
+        Flush when the oldest waiter has been queued this long.
+    max_queue:
+        Admission bound: submissions beyond this many queued-but-
+        unflushed waiters raise :class:`QueueFullError` (the server maps
+        it to a 503).
+    max_concurrent:
+        Batches allowed in flight at once (worker-pool width).  The
+        flusher keeps draining the queue while earlier batches compute,
+        so a slow batch does not head-of-line-block the next one.
+    on_flush:
+        Optional callback ``(size, reason)`` with reason ``"size"`` or
+        ``"deadline"`` — the metrics hook.
+    """
+
+    def __init__(self, run_batch, max_batch: int = 32,
+                 max_wait_s: float = 0.002, max_queue: int = 1024,
+                 max_concurrent: int = 4, on_flush=None):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if max_queue < max_batch:
+            raise ValueError(
+                f"max_queue ({max_queue}) must be >= max_batch ({max_batch})")
+        self.run_batch = run_batch
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.max_queue = max_queue
+        self.on_flush = on_flush
+        self._queue: deque[_Waiter] = deque()
+        self._wake = asyncio.Event()
+        self._slots = asyncio.Semaphore(max_concurrent)
+        self._flusher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Queued-but-unflushed waiters (the admission-control gauge)."""
+        return len(self._queue)
+
+    def _ensure_flusher(self) -> None:
+        if self._flusher is None or self._flusher.done():
+            self._flusher = asyncio.get_running_loop().create_task(
+                self._flush_loop())
+
+    async def submit(self, payload):
+        """Enqueue one payload and wait for its routed result.
+
+        Raises :class:`QueueFullError` immediately when the queue is at
+        capacity, and re-raises whatever per-item exception ``run_batch``
+        assigned to this payload's slot.
+        """
+        if self._closed:
+            raise RuntimeError("MicroBatchQueue is closed")
+        if len(self._queue) >= self.max_queue:
+            raise QueueFullError(
+                f"micro-batch queue at capacity ({self.max_queue})")
+        loop = asyncio.get_running_loop()
+        waiter = _Waiter(payload, loop.create_future(),
+                         loop.time() + self.max_wait_s)
+        self._queue.append(waiter)
+        self._ensure_flusher()
+        # Always wake the flusher: an idle one must start the deadline
+        # clock, and one mid-wait re-checks the size trigger.
+        self._wake.set()
+        return await waiter.future
+
+    # ------------------------------------------------------------------ #
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._closed:
+            while not self._queue:
+                self._wake.clear()
+                if self._closed:
+                    return
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.1)
+                except asyncio.TimeoutError:
+                    if self._closed:
+                        return
+                    continue
+            # Wait for either a full batch or the oldest waiter's deadline.
+            while (len(self._queue) < self.max_batch
+                   and self._queue and loop.time() < self._queue[0].deadline):
+                self._wake.clear()
+                timeout = max(0.0, self._queue[0].deadline - loop.time())
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=timeout)
+                except asyncio.TimeoutError:
+                    break
+            # Take a worker slot BEFORE popping: while every slot is
+            # busy, waiters stay in the queue where the admission bound
+            # (``max_queue``) can see them — backpressure turns into
+            # 503s instead of an invisible holding pen.
+            await self._slots.acquire()
+            batch: list[_Waiter] = []
+            while self._queue and len(batch) < self.max_batch:
+                waiter = self._queue.popleft()
+                if waiter.future.cancelled():
+                    continue  # timed-out/disconnected client: no slot, no compute
+                batch.append(waiter)
+            if not batch:
+                self._slots.release()
+                continue
+            reason = "size" if len(batch) >= self.max_batch else "deadline"
+            if self.on_flush is not None:
+                self.on_flush(len(batch), reason)
+            task = asyncio.get_running_loop().create_task(
+                self._run_one_batch(batch))
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
+
+    async def _run_one_batch(self, batch: list[_Waiter]) -> None:
+        try:
+            payloads = [w.payload for w in batch]
+            try:
+                results = await self.run_batch(payloads)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"run_batch returned {len(results)} results for "
+                        f"{len(batch)} payloads")
+            except Exception:
+                if len(batch) == 1:
+                    raise
+                # Whole-batch failure: isolate by re-running per item so
+                # only the genuinely bad payloads reject.
+                results = []
+                for payload in payloads:
+                    try:
+                        out = await self.run_batch([payload])
+                        if len(out) != 1:
+                            raise RuntimeError(
+                                f"run_batch returned {len(out)} results "
+                                "for 1 payload")
+                        results.append(out[0])
+                    except Exception as exc:  # noqa: BLE001 — routed per item
+                        results.append(exc)
+            for waiter, result in zip(batch, results):
+                if waiter.future.cancelled():
+                    continue
+                if isinstance(result, Exception):
+                    waiter.future.set_exception(result)
+                else:
+                    waiter.future.set_result(result)
+        except Exception as exc:  # noqa: BLE001 — single-item batch raise
+            for waiter in batch:
+                if not waiter.future.cancelled():
+                    waiter.future.set_exception(exc)
+        finally:
+            self._slots.release()
+
+    # ------------------------------------------------------------------ #
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every queued and in-flight batch has completed.
+
+        Returns True on a clean drain, False if ``timeout`` expired
+        first.  New submissions during the drain are still accepted —
+        call :meth:`close` afterwards to reject stragglers.
+        """
+        deadline = (asyncio.get_running_loop().time() + timeout
+                    if timeout is not None else None)
+        while self._queue or self._inflight:
+            if deadline is not None and \
+                    asyncio.get_running_loop().time() >= deadline:
+                return False
+            self._wake.set()
+            await asyncio.sleep(0.005)
+        return True
+
+    async def close(self) -> None:
+        """Stop the flusher and reject anything still queued."""
+        self._closed = True
+        self._wake.set()
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        while self._queue:
+            waiter = self._queue.popleft()
+            if not waiter.future.done():
+                waiter.future.set_exception(
+                    RuntimeError("server shutting down"))
+        for task in list(self._inflight):
+            task.cancel()

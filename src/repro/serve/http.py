@@ -1,0 +1,184 @@
+"""Minimal HTTP/1.1 over asyncio streams — no dependencies, no framework.
+
+The server speaks exactly the subset the serving API needs: request
+line + headers + ``Content-Length`` bodies, JSON in and JSON out,
+keep-alive by default.  :class:`ServeClient` is the matching blocking
+client (``http.client`` under the hood) used by the load generator, the
+CLI's ``bench-serve`` mode, and the tests — one wire format, both ends
+in-tree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+__all__ = ["HttpError", "Request", "Response", "read_request", "ServeClient"]
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure that maps directly to a status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> dict:
+        if not self.body:
+            return {}
+        try:
+            doc = json.loads(self.body)
+        except ValueError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise HttpError(400, "JSON body must be an object")
+        return doc
+
+
+@dataclass
+class Response:
+    """One JSON response; :meth:`encode` renders the wire bytes."""
+
+    status: int = 200
+    payload: dict = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool = True) -> bytes:
+        body = json.dumps(self.payload).encode()
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}",
+                 "content-type: application/json",
+                 f"content-length: {len(body)}",
+                 f"connection: {'keep-alive' if keep_alive else 'close'}"]
+        lines += [f"{k}: {v}" for k, v in self.headers.items()]
+        return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    Raises :class:`HttpError` on malformed input (the caller answers
+    with the error's status and closes the connection).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HttpError(400, "bad content-length") from exc
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body of {length} bytes exceeds limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HttpError(400, "truncated request body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return Request(method=method, path=split.path, query=query,
+                   headers=headers, body=body)
+
+
+class ServeClient:
+    """Blocking JSON client for a serve endpoint (keep-alive connection).
+
+    Thin wrapper over :class:`http.client.HTTPConnection`; one instance
+    per thread.  ``request`` returns ``(status, payload)`` and
+    transparently reconnects once if the server closed the idle
+    connection.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 client_id: str | None = None):
+        import http.client
+
+        self._make = lambda: http.client.HTTPConnection(
+            host, port, timeout=timeout)
+        self._conn = self._make()
+        self.client_id = client_id
+
+    def request(self, method: str, path: str,
+                payload: dict | None = None) -> tuple[int, dict]:
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"content-type": "application/json"}
+        if self.client_id is not None:
+            headers["x-client-id"] = self.client_id
+        for attempt in (0, 1):
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, OSError):
+                self._conn.close()
+                self._conn = self._make()
+                if attempt:
+                    raise
+        try:
+            doc = json.loads(data) if data else {}
+        except ValueError:
+            doc = {"raw": data.decode("latin-1")}
+        return response.status, doc
+
+    def get(self, path: str) -> tuple[int, dict]:
+        return self.request("GET", path)
+
+    def post(self, path: str, payload: dict) -> tuple[int, dict]:
+        return self.request("POST", path, payload)
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,126 @@
+"""The load generator behind ``repro bench-serve`` and ``BENCH_serve.json``.
+
+Drives N concurrent closed-loop clients (one thread + one keep-alive
+connection each) over a work list of ``/predict`` request bodies and
+reports what a load balancer would see: requests/sec, latency
+percentiles, and the per-status outcome counts.  Each worker owns a
+disjoint slice of the work list, so a run touches every request exactly
+once and the responses can be audited for bit-identity against direct
+``SNS.predict``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .http import ServeClient
+
+__all__ = ["LoadResult", "run_load"]
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load-generation run."""
+
+    requests: int
+    ok: int
+    wall_s: float
+    statuses: dict[int, int]
+    latencies_s: list[float] = field(repr=False)
+    responses: list[tuple[int, int, dict]] = field(repr=False)
+    clients: int = 0
+
+    @property
+    def requests_per_second(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        return {
+            "clients": self.clients,
+            "requests": self.requests,
+            "ok": self.ok,
+            "wall_s": self.wall_s,
+            "requests_per_second": self.requests_per_second,
+            "latency_ms": {
+                "p50": self.percentile(50) * 1e3,
+                "p90": self.percentile(90) * 1e3,
+                "p99": self.percentile(99) * 1e3,
+                "mean": (sum(self.latencies_s) / len(self.latencies_s) * 1e3
+                         if self.latencies_s else 0.0),
+            },
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+        }
+
+
+def run_load(host: str, port: int, bodies: list[dict], clients: int = 8,
+             path: str = "/predict", timeout: float = 120.0,
+             repeat: int = 1) -> LoadResult:
+    """POST every body in ``bodies`` through ``clients`` concurrent workers.
+
+    The work list is dealt round-robin into per-client slices; each
+    worker replays its slice ``repeat`` times, serially, over one
+    keep-alive connection (a closed-loop client).  Workers start on a
+    shared barrier so the measured window covers true concurrency.
+    ``responses`` records ``(work_index, status, payload)`` for every
+    request, enabling exact-equality audits downstream.
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1: {clients}")
+    slices: list[list[tuple[int, dict]]] = [[] for _ in range(clients)]
+    for i, body in enumerate(bodies):
+        slices[i % clients].append((i, body))
+
+    barrier = threading.Barrier(clients + 1)
+    lock = threading.Lock()
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    responses: list[tuple[int, int, dict]] = []
+
+    def worker(worker_id: int, work: list[tuple[int, dict]]) -> None:
+        client = ServeClient(host, port, timeout=timeout,
+                             client_id=f"loadgen-{worker_id}")
+        local: list[tuple[int, int, dict, float]] = []
+        barrier.wait()
+        for _ in range(repeat):
+            for index, body in work:
+                t0 = time.perf_counter()
+                status, payload = client.post(path, body)
+                dt = time.perf_counter() - t0
+                local.append((index, status, payload, dt))
+        client.close()
+        with lock:
+            for index, status, payload, dt in local:
+                latencies.append(dt)
+                statuses[status] = statuses.get(status, 0) + 1
+                responses.append((index, status, payload))
+
+    threads = [threading.Thread(target=worker, args=(i, slices[i]),
+                                daemon=True)
+               for i in range(clients)]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+
+    return LoadResult(
+        requests=len(responses),
+        ok=statuses.get(200, 0),
+        wall_s=wall,
+        statuses=statuses,
+        latencies_s=latencies,
+        responses=sorted(responses, key=lambda r: r[0]),
+        clients=clients,
+    )

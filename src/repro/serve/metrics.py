@@ -1,0 +1,183 @@
+"""Request metrics for the serving layer (exported as JSON on ``/metrics``).
+
+Everything here is deliberately simple and lock-guarded: counters,
+gauges, and sample-backed histograms that a single ``/metrics`` GET can
+snapshot without stopping the world.  Latency percentiles are computed
+from a bounded reservoir of recent samples (the newest ``max_samples``
+observations) rather than fixed buckets, so p50/p90/p99 are exact over
+the retained window — the right trade for a benchmark-audited server
+whose interesting runs are thousands, not billions, of requests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+__all__ = ["LatencyHistogram", "EndpointMetrics", "ServerMetrics"]
+
+
+class LatencyHistogram:
+    """Latency distribution over a bounded window of recent samples."""
+
+    def __init__(self, max_samples: int = 8192):
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total_s = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+        self.total_s += seconds
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the retained window."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def as_dict(self) -> dict:
+        ordered = sorted(self._samples)
+
+        def pct(q: float) -> float:
+            if not ordered:
+                return 0.0
+            rank = max(0, min(len(ordered) - 1,
+                              round(q / 100.0 * (len(ordered) - 1))))
+            return ordered[rank]
+
+        return {
+            "count": self.count,
+            "mean_ms": (self.total_s / self.count * 1e3) if self.count else 0.0,
+            "p50_ms": pct(50) * 1e3,
+            "p90_ms": pct(90) * 1e3,
+            "p99_ms": pct(99) * 1e3,
+            "max_ms": (ordered[-1] * 1e3) if ordered else 0.0,
+        }
+
+
+class EndpointMetrics:
+    """Per-endpoint counters, an in-flight gauge, and a latency histogram."""
+
+    def __init__(self):
+        self.requests = 0
+        self.ok = 0
+        self.errors = 0
+        self.rejected_rate_limit = 0     # 429s
+        self.rejected_queue_full = 0     # 503s
+        self.timeouts = 0                # 504s
+        self.in_flight = 0
+        self.peak_in_flight = 0
+        self.latency = LatencyHistogram()
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "rejected_rate_limit": self.rejected_rate_limit,
+            "rejected_queue_full": self.rejected_queue_full,
+            "timeouts": self.timeouts,
+            "in_flight": self.in_flight,
+            "peak_in_flight": self.peak_in_flight,
+            "latency": self.latency.as_dict(),
+        }
+
+
+class ServerMetrics:
+    """The server-wide metrics registry behind ``/metrics``.
+
+    One :class:`EndpointMetrics` per route, plus cross-cutting serving
+    telemetry: the micro-batch size distribution (with flush reasons),
+    single-flight coalescing counters, and whatever cache statistics the
+    server chooses to attach at snapshot time.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._endpoints: dict[str, EndpointMetrics] = {}
+        self._batch_sizes: deque[int] = deque(maxlen=8192)
+        self._flush_reasons: Counter = Counter()
+        self.batches = 0
+        self.batched_requests = 0
+        self.single_flight_hits = 0
+        self.started_at = time.time()
+
+    # -- endpoint lifecycle -------------------------------------------- #
+    def endpoint(self, name: str) -> EndpointMetrics:
+        with self._lock:
+            ep = self._endpoints.get(name)
+            if ep is None:
+                ep = self._endpoints[name] = EndpointMetrics()
+            return ep
+
+    def begin(self, name: str) -> EndpointMetrics:
+        ep = self.endpoint(name)
+        with self._lock:
+            ep.requests += 1
+            ep.in_flight += 1
+            ep.peak_in_flight = max(ep.peak_in_flight, ep.in_flight)
+        return ep
+
+    def end(self, name: str, status: int, seconds: float) -> None:
+        ep = self.endpoint(name)
+        with self._lock:
+            ep.in_flight -= 1
+            ep.latency.observe(seconds)
+            if status < 400:
+                ep.ok += 1
+            elif status == 429:
+                ep.rejected_rate_limit += 1
+            elif status == 503:
+                ep.rejected_queue_full += 1
+            elif status == 504:
+                ep.timeouts += 1
+            else:
+                ep.errors += 1
+
+    # -- serving telemetry --------------------------------------------- #
+    def observe_batch(self, size: int, reason: str) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            self._batch_sizes.append(size)
+            self._flush_reasons[reason] += 1
+
+    def observe_single_flight_hit(self, n: int = 1) -> None:
+        with self._lock:
+            self.single_flight_hits += n
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self, extra: dict | None = None) -> dict:
+        with self._lock:
+            sizes = sorted(self._batch_sizes)
+
+            def pct(q: float) -> float:
+                if not sizes:
+                    return 0.0
+                rank = max(0, min(len(sizes) - 1,
+                                  round(q / 100.0 * (len(sizes) - 1))))
+                return float(sizes[rank])
+
+            doc = {
+                "uptime_s": time.time() - self.started_at,
+                "endpoints": {name: ep.as_dict()
+                              for name, ep in self._endpoints.items()},
+                "batching": {
+                    "batches": self.batches,
+                    "batched_requests": self.batched_requests,
+                    "mean_batch_size": (self.batched_requests / self.batches
+                                        if self.batches else 0.0),
+                    "p50_batch_size": pct(50),
+                    "max_batch_size": float(sizes[-1]) if sizes else 0.0,
+                    "flush_reasons": dict(self._flush_reasons),
+                },
+                "single_flight_hits": self.single_flight_hits,
+            }
+        if extra:
+            doc.update(extra)
+        return doc

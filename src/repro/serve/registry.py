@@ -1,0 +1,177 @@
+"""The warm model registry: load-once, fingerprint-keyed, staleness-checked.
+
+A serving process holds every model it has ever been asked for in
+memory, fully warmed: the fitted :class:`~repro.core.predictor.SNS`, a
+shared :class:`~repro.runtime.FrontendCache`, one
+:class:`~repro.runtime.PredictionCache`, and one
+:class:`~repro.runtime.BatchPredictor` per requested precision (the
+fp64 predictor is bit-identical to ``SNS.predict``; reduced precisions
+get their own cache rows via the PR-5 fingerprint suffix).  Loading is
+single-flight per path — concurrent first requests for the same model
+deserialize it exactly once.
+
+Models are addressable three ways: by registry *name* (``"default"``,
+a CLI-chosen alias, or a ``/train``-assigned id), by *model
+fingerprint* (the PR-1 content hash over every weight and scaler), and
+by any *prefix* of the fingerprint of length >= 8.  The fingerprint is
+re-checked against the live weights on every :meth:`ServedModel.fresh`
+call — the ``Parameter.version`` counters make that a memoized O(1)
+comparison — so a model fine-tuned in place (e.g. by ``/train`` on an
+aliased instance) is re-keyed instead of served stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+from ..runtime import (BatchPredictor, FrontendCache, PredictionCache,
+                       fingerprint_model)
+from ..runtime.trainer import EncodingCache
+
+__all__ = ["ServedModel", "ModelRegistry"]
+
+
+class ServedModel:
+    """One warm model: the SNS plus its shared serving-side caches."""
+
+    def __init__(self, sns, name: str, *, batch_size: int = 32,
+                 cache_dir: str | Path | None = None, executor: bool = False,
+                 threads: int = 1):
+        self.sns = sns
+        self.name = name
+        self.batch_size = batch_size
+        self.executor = executor
+        self.threads = threads
+        self.fingerprint = fingerprint_model(sns)
+        self.frontend_cache = FrontendCache(
+            disk_dir=Path(cache_dir) / "frontend" if cache_dir else None)
+        self.prediction_cache = PredictionCache(
+            disk_dir=Path(cache_dir) / "predictions" if cache_dir else None)
+        self.encoding_cache = EncodingCache()
+        self._predictors: dict[str, BatchPredictor] = {}
+        self._lock = threading.Lock()
+
+    def predictor(self, precision: str = "fp64") -> BatchPredictor:
+        """The shared warm :class:`BatchPredictor` for ``precision``.
+
+        All precisions share one prediction cache (reduced-precision
+        keys carry a precision suffix) and one front-end cache; the
+        compiled executor, when enabled, is built once per precision and
+        kept warm across requests.
+        """
+        with self._lock:
+            engine = self._predictors.get(precision)
+            if engine is None:
+                engine = BatchPredictor(
+                    self.sns, cache=self.prediction_cache,
+                    batch_size=self.batch_size,
+                    encoding_cache=self.encoding_cache,
+                    frontend_cache=self.frontend_cache,
+                    executor=self.executor, precision=precision,
+                    threads=self.threads)
+                self._predictors[precision] = engine
+            return engine
+
+    def fresh(self) -> bool:
+        """Re-fingerprint the live weights; True if nothing changed.
+
+        On a version bump (in-place fine-tuning) the stored fingerprint
+        is updated and the per-precision predictors are dropped so the
+        next request rebuilds them — compiled executors would otherwise
+        replay stale casts.  Cached predictions need no flushing: their
+        keys embed the old fingerprint, so they simply stop matching.
+        """
+        current = fingerprint_model(self.sns)
+        if current == self.fingerprint:
+            return True
+        with self._lock:
+            self.fingerprint = current
+            self._predictors.clear()
+        return False
+
+    def stats(self) -> dict:
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "precisions": sorted(self._predictors),
+            "prediction_cache": self.prediction_cache.stats.as_dict(),
+            "frontend_cache": self.frontend_cache.stats,
+        }
+
+
+class ModelRegistry:
+    """Name/fingerprint-addressed table of warm :class:`ServedModel`\\ s."""
+
+    def __init__(self, *, batch_size: int = 32,
+                 cache_dir: str | Path | None = None, executor: bool = False,
+                 threads: int = 1):
+        self.batch_size = batch_size
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.executor = executor
+        self.threads = threads
+        self._by_name: dict[str, ServedModel] = {}
+        self._by_path: dict[str, ServedModel] = {}
+        self._lock = threading.Lock()
+        self.loads = 0
+
+    # ------------------------------------------------------------------ #
+    def _wrap(self, sns, name: str) -> ServedModel:
+        model_dir = (self.cache_dir / name) if self.cache_dir else None
+        return ServedModel(sns, name, batch_size=self.batch_size,
+                           cache_dir=model_dir, executor=self.executor,
+                           threads=self.threads)
+
+    def register(self, sns, name: str) -> ServedModel:
+        """Adopt an already-fitted in-process model under ``name``."""
+        served = self._wrap(sns, name)
+        with self._lock:
+            self._by_name[name] = served
+        return served
+
+    def load(self, path: str | Path, name: str | None = None) -> ServedModel:
+        """Load a saved ``.npz`` model, once per resolved path.
+
+        Repeat loads of the same file return the warm instance; the
+        single-flight lock means concurrent first loads deserialize it
+        exactly once.
+        """
+        from ..core.persistence import load_sns
+
+        resolved = str(Path(path).resolve())
+        with self._lock:
+            served = self._by_path.get(resolved)
+            if served is None:
+                sns = load_sns(resolved)
+                self.loads += 1
+                served = self._wrap(sns, name or Path(path).stem)
+                self._by_path[resolved] = served
+                self._by_name.setdefault(served.name, served)
+        return served
+
+    # ------------------------------------------------------------------ #
+    def get(self, ref: str) -> ServedModel:
+        """Resolve a model by name, fingerprint, or fingerprint prefix."""
+        with self._lock:
+            served = self._by_name.get(ref)
+            if served is not None:
+                return served
+            if len(ref) >= 8:
+                matches = {s.fingerprint: s
+                           for s in self._by_name.values()
+                           if s.fingerprint.startswith(ref)}
+                if len(matches) == 1:
+                    return next(iter(matches.values()))
+                if len(matches) > 1:
+                    raise KeyError(f"model ref {ref!r} is ambiguous")
+        raise KeyError(f"no model registered under {ref!r}")
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._by_name)
+
+    def stats(self) -> dict:
+        with self._lock:
+            models = list(self._by_name.values())
+        return {"loads": self.loads,
+                "models": {m.name: m.stats() for m in models}}

@@ -1,0 +1,182 @@
+"""Thread-safety of the cache disk tiers under concurrent serve workers.
+
+The serving tier points many worker threads (and, for datagen, many
+processes) at one cache directory.  These tests hammer the shared
+tiers — :class:`repro.runtime.PredictionCache` and the
+:class:`FrontendCache` / :class:`SynthesisCache` built on it — and pin
+the two properties that make that safe:
+
+- **atomic publish**: every read returns either a miss or one writer's
+  complete payload, never torn JSON, even with many threads writing the
+  same key;
+- **corruption tolerance**: a partially-written or garbage entry (a
+  crashed writer from before unique temp staging) reads as a miss and
+  is healed by the next put.
+"""
+
+import json
+import threading
+
+from repro.designs import standard_designs
+from repro.runtime import FrontendCache, PredictionCache
+from repro.runtime.frontend import fingerprint_frontend_module
+from repro.synth import SynthesisCache, Synthesizer
+
+
+def _hammer(num_threads, fn):
+    """Run ``fn(thread_index)`` on many threads; re-raise any failure."""
+    errors = []
+    barrier = threading.Barrier(num_threads)
+
+    def run(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except BaseException as exc:  # noqa: BLE001 — surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(num_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestPredictionCacheConcurrency:
+    def test_same_key_many_writers(self, tmp_path):
+        """Concurrent writers of one key publish atomically."""
+        cache = PredictionCache(disk_dir=tmp_path)
+        payload = {"timing_ps": 1.5, "blob": "x" * 4096}
+
+        def work(i):
+            for round_ in range(40):
+                cache.put("sharedkey", payload)
+                got = cache.get("sharedkey")
+                assert got == payload
+
+        _hammer(8, work)
+        # Exactly one published file, no leaked temp staging files.
+        files = list(tmp_path.rglob("*"))
+        assert [p.name for p in files if p.suffix == ".tmp"] == []
+        assert json.loads((tmp_path / "sh" / "sharedkey.json").read_text()) \
+            == payload
+
+    def test_distinct_keys_cross_readers(self, tmp_path):
+        """Each thread writes its keys while reading everyone else's."""
+        cache = PredictionCache(max_entries=8, disk_dir=tmp_path)
+
+        def payload_for(key):
+            return {"key": key, "pad": key * 50}
+
+        def work(i):
+            for round_ in range(30):
+                mine = f"key-{i}-{round_}"
+                cache.put(mine, payload_for(mine))
+                for j in range(8):
+                    other = f"key-{j}-{round_}"
+                    got = cache.get(other)
+                    assert got is None or got == payload_for(other)
+
+        _hammer(8, work)
+        stats = cache.stats.as_dict()
+        assert stats["memory_hits"] + stats["disk_hits"] > 0
+
+    def test_two_processes_one_dir(self, tmp_path):
+        """A second cache instance on the same dir sees published entries."""
+        writer = PredictionCache(disk_dir=tmp_path)
+        reader = PredictionCache(disk_dir=tmp_path)
+
+        def work(i):
+            for round_ in range(25):
+                key = f"xk{i}-{round_}"
+                writer.put(key, {"v": key})
+                assert reader.get(key) == {"v": key}
+
+        _hammer(6, work)
+
+    def test_partial_entry_reads_as_miss_and_heals(self, tmp_path):
+        """Torn/garbage disk entries tolerate: miss, then heal on put."""
+        cache = PredictionCache(disk_dir=tmp_path)
+        cache.put("goodkey", {"v": 1})
+        path = tmp_path / "go" / "goodkey.json"
+        assert path.is_file()
+
+        fresh = PredictionCache(disk_dir=tmp_path)     # no memory tier copy
+        path.write_text('{"v": 1')                     # torn mid-write
+        assert fresh.get("goodkey") is None
+        assert fresh.stats.misses == 1
+        fresh.put("goodkey", {"v": 2})
+        assert PredictionCache(disk_dir=tmp_path).get("goodkey") == {"v": 2}
+
+    def test_clear_removes_staging_leftovers(self, tmp_path):
+        cache = PredictionCache(disk_dir=tmp_path)
+        cache.put("somekey", {"v": 1})
+        leftover = tmp_path / "so" / ".crashed.1234.0.tmp"
+        leftover.write_text("{partial")
+        cache.clear(memory_only=False)
+        assert not leftover.exists()
+        assert cache.get("somekey") is None
+
+
+class TestFrontendCacheConcurrency:
+    def test_graph_tier_hammer(self, tmp_path):
+        """Many threads compile/read the same designs via one disk dir."""
+        entries = [e for e in standard_designs()
+                   if e.name in ("gpio16", "gpio32", "piecewise8")]
+        compiled = {e.name: e.module.elaborate_compiled() for e in entries}
+        keys = {name: fingerprint_frontend_module(entries[i].module)
+                for i, name in enumerate(compiled)}
+        cache = FrontendCache(disk_dir=tmp_path)
+
+        def work(i):
+            for round_ in range(15):
+                for name, cg in compiled.items():
+                    if (i + round_) % 2:
+                        cache.put_graph(keys[name], cg)
+                    got = cache.get_graph(keys[name])
+                    if got is not None:
+                        assert got.fingerprint() == cg.fingerprint()
+
+        _hammer(8, work)
+        for name, cg in compiled.items():
+            assert cache.get_graph(keys[name]).fingerprint() == cg.fingerprint()
+
+    def test_path_tier_hammer(self, tmp_path):
+        from repro.core import PathSampler
+
+        entry = next(e for e in standard_designs() if e.name == "gpio16")
+        cg = entry.module.elaborate_compiled()
+        sampler = PathSampler(k=5, max_paths=20, seed=0)
+        expected = sampler.sample(cg)
+        cache = FrontendCache(disk_dir=tmp_path)
+
+        def work(i):
+            for _ in range(10):
+                assert cache.sample(cg, sampler) == expected
+
+        _hammer(8, work)
+
+
+class TestSynthesisCacheConcurrency:
+    def test_label_tier_hammer(self, tmp_path):
+        entry = next(e for e in standard_designs() if e.name == "gpio16")
+        graph = entry.module.elaborate()
+        synth = Synthesizer(effort="low")
+        library = synth.library
+        result = synth.synthesize(graph)
+        cache = SynthesisCache(disk_dir=tmp_path)
+
+        def work(i):
+            for _ in range(20):
+                cache.put(graph, library, "low", result)
+                got = cache.get(graph, library, "low")
+                if got is not None:
+                    assert got.timing_ps == result.timing_ps
+                    assert got.area_um2 == result.area_um2
+                    assert got.power_mw == result.power_mw
+
+        _hammer(8, work)
+        assert cache.get(graph, library, "low").timing_ps == result.timing_ps

@@ -232,6 +232,46 @@ class TestGraphMechanics:
         assert not y.requires_grad
         assert y._parents == ()
 
+    def test_no_grad_is_thread_local(self):
+        # Concurrent serve workers toggle grad mode independently: one
+        # thread leaving no_grad must not re-enable it under another.
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        inner_ok = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def other_thread():
+            assert is_grad_enabled()      # fresh thread: enabled default
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+                inner_ok.append(not is_grad_enabled())
+
+        t = threading.Thread(target=other_thread)
+        t.start()
+        entered.wait(timeout=10)
+        with no_grad():
+            pass                          # enter+exit on the main thread
+        release.set()                     # other thread must still be off
+        t.join()
+        assert inner_ok == [True]
+        assert is_grad_enabled()
+
+    def test_no_grad_not_inherited_by_spawned_threads(self):
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        seen = []
+        with no_grad():
+            t = threading.Thread(target=lambda: seen.append(is_grad_enabled()))
+            t.start()
+            t.join()
+        assert seen == [True]
+
     def test_grad_accumulates_on_reuse(self):
         x = Tensor(np.array([2.0]), requires_grad=True)
         y = x * x + x  # dy/dx = 2x + 1 = 5

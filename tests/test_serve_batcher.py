@@ -1,0 +1,244 @@
+"""Isolation tests for the cross-request micro-batch queue.
+
+Everything here runs against fake ``run_batch`` callables — no model,
+no HTTP — so each contract of
+:class:`repro.serve.batcher.MicroBatchQueue` is pinned down on its own:
+flush triggers (size vs deadline), deterministic result routing,
+cancellation of abandoned waiters, per-request error isolation, and
+bounded-queue admission.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve.batcher import MicroBatchQueue, QueueFullError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFlushTriggers:
+    def test_size_flush(self):
+        """max_batch concurrent submissions flush immediately as one batch."""
+        flushes = []
+
+        async def main():
+            async def run_batch(items):
+                return [x * 2 for x in items]
+
+            q = MicroBatchQueue(run_batch, max_batch=4, max_wait_s=60.0,
+                                on_flush=lambda n, why: flushes.append((n, why)))
+            results = await asyncio.gather(*(q.submit(i) for i in range(4)))
+            await q.close()
+            return results
+
+        assert run(main()) == [0, 2, 4, 6]
+        assert flushes == [(4, "size")]
+
+    def test_deadline_flush(self):
+        """A partial batch flushes once the oldest waiter hits max_wait."""
+        flushes = []
+
+        async def main():
+            async def run_batch(items):
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=64, max_wait_s=0.02,
+                                on_flush=lambda n, why: flushes.append((n, why)))
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            results = await asyncio.gather(q.submit("a"), q.submit("b"))
+            waited = loop.time() - t0
+            await q.close()
+            return results, waited
+
+        results, waited = run(main())
+        assert results == ["a", "b"]
+        assert flushes == [(2, "deadline")]
+        assert waited >= 0.015  # the deadline, not the size trigger, fired
+
+    def test_lone_request_not_stuck(self):
+        """A single submission completes within roughly max_wait."""
+        async def main():
+            async def run_batch(items):
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=32, max_wait_s=0.01)
+            result = await asyncio.wait_for(q.submit(42), timeout=2.0)
+            await q.close()
+            return result
+
+        assert run(main()) == 42
+
+
+class TestRouting:
+    def test_results_route_to_submitters(self):
+        """Result i lands with waiter i across interleaved batches."""
+        async def main():
+            async def run_batch(items):
+                await asyncio.sleep(0.001)
+                return [f"r-{x}" for x in items]
+
+            q = MicroBatchQueue(run_batch, max_batch=3, max_wait_s=0.005)
+            results = await asyncio.gather(*(q.submit(i) for i in range(20)))
+            await q.close()
+            return results
+
+        assert run(main()) == [f"r-{i}" for i in range(20)]
+
+    def test_length_mismatch_is_an_error(self):
+        async def main():
+            async def run_batch(items):
+                return items[:-1]
+
+            q = MicroBatchQueue(run_batch, max_batch=2, max_wait_s=0.005)
+            return await asyncio.gather(q.submit(1), q.submit(2),
+                                        return_exceptions=True)
+
+        results = run(main())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+
+class TestCancellation:
+    def test_cancelled_waiter_skipped(self):
+        """A cancelled submission consumes no batch slot and no compute."""
+        seen = []
+
+        async def main():
+            async def run_batch(items):
+                seen.append(list(items))
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=8, max_wait_s=0.03)
+            doomed = asyncio.ensure_future(q.submit("doomed"))
+            await asyncio.sleep(0)     # let it enqueue
+            doomed.cancel()
+            survivor = await q.submit("survivor")
+            with pytest.raises(asyncio.CancelledError):
+                await doomed
+            await q.close()
+            return survivor
+
+        assert run(main()) == "survivor"
+        assert seen == [["survivor"]]
+
+    def test_all_cancelled_batch_never_runs(self):
+        calls = []
+
+        async def main():
+            async def run_batch(items):
+                calls.append(list(items))
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=8, max_wait_s=0.01)
+            tasks = [asyncio.ensure_future(q.submit(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            for t in tasks:
+                t.cancel()
+            await asyncio.sleep(0.05)  # past the deadline
+            await q.close()
+
+        run(main())
+        assert calls == []
+
+
+class TestErrorIsolation:
+    def test_per_slot_exception_results(self):
+        """An Exception in one result slot rejects only that waiter."""
+        async def main():
+            async def run_batch(items):
+                return [ValueError(f"bad {x}") if x == "poison" else x.upper()
+                        for x in items]
+
+            q = MicroBatchQueue(run_batch, max_batch=3, max_wait_s=0.01)
+            results = await asyncio.gather(
+                q.submit("ok1"), q.submit("poison"), q.submit("ok2"),
+                return_exceptions=True)
+            await q.close()
+            return results
+
+        ok1, poison, ok2 = run(main())
+        assert (ok1, ok2) == ("OK1", "OK2")
+        assert isinstance(poison, ValueError)
+
+    def test_wholesale_failure_reruns_per_item(self):
+        """A batch-level raise isolates to per-item retries."""
+        batch_sizes = []
+
+        async def main():
+            async def run_batch(items):
+                batch_sizes.append(len(items))
+                if "poison" in items:
+                    raise RuntimeError("batch blew up")
+                return [x.upper() for x in items]
+
+            q = MicroBatchQueue(run_batch, max_batch=3, max_wait_s=0.01)
+            results = await asyncio.gather(
+                q.submit("ok1"), q.submit("poison"), q.submit("ok2"),
+                return_exceptions=True)
+            await q.close()
+            return results
+
+        ok1, poison, ok2 = run(main())
+        assert (ok1, ok2) == ("OK1", "OK2")
+        assert isinstance(poison, RuntimeError)
+        # One failed batch of 3, then three singleton retries.
+        assert sorted(batch_sizes) == [1, 1, 1, 3]
+
+    def test_single_item_batch_raises_directly(self):
+        async def main():
+            async def run_batch(items):
+                raise RuntimeError("nope")
+
+            q = MicroBatchQueue(run_batch, max_batch=1, max_wait_s=0.01)
+            with pytest.raises(RuntimeError, match="nope"):
+                await q.submit("x")
+            await q.close()
+
+        run(main())
+
+
+class TestAdmission:
+    def test_queue_full_raises(self):
+        """Submissions beyond max_queue are rejected, not buffered."""
+        async def main():
+            release = asyncio.Event()
+
+            async def run_batch(items):
+                await release.wait()
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=1, max_wait_s=0.001,
+                                max_queue=2, max_concurrent=1)
+            first = asyncio.ensure_future(q.submit(0))
+            await asyncio.sleep(0.02)  # flushed into the blocked batch
+            tasks = [first] + [asyncio.ensure_future(q.submit(i))
+                               for i in (1, 2)]
+            await asyncio.sleep(0.02)  # 1 in flight, 2 queued: at capacity
+            with pytest.raises(QueueFullError):
+                await q.submit(99)
+            release.set()
+            results = await asyncio.gather(*tasks)
+            await q.close()
+            return results
+
+        assert run(main()) == [0, 1, 2]
+
+    def test_drain_completes_inflight(self):
+        async def main():
+            async def run_batch(items):
+                await asyncio.sleep(0.01)
+                return items
+
+            q = MicroBatchQueue(run_batch, max_batch=4, max_wait_s=0.001)
+            tasks = [asyncio.ensure_future(q.submit(i)) for i in range(8)]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            assert await q.drain(timeout=5.0)
+            assert q.depth == 0
+            results = await asyncio.gather(*tasks)
+            await q.close()
+            return results
+
+        assert run(main()) == list(range(8))
