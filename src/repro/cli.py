@@ -35,6 +35,11 @@ serve MODEL       Run the async prediction server: cross-request
 bench-serve       Drive a running server with N concurrent closed-loop
                   clients over bundled designs and print requests/sec
                   and p50/p99 latency.
+cache stats PATH  Inspect a shared artifact store (directory root or
+                  SQLite file): entry counts, bytes, and age per
+                  artifact kind.
+cache gc PATH     Age/size-bounded sweep of a store's persistent tier
+                  (``--max-age-days D --max-bytes N[K|M|G] --dry-run``).
 export NAME OUT.v Emit a bundled dataset design as Verilog
                   (``export --list`` shows the 41 names).
 """
@@ -354,6 +359,76 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _parse_size(text: str) -> int:
+    """``"500"``/``"500K"``/``"32M"``/``"2G"`` -> bytes."""
+    text = text.strip().upper()
+    scale = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}.get(text[-1:], 1)
+    digits = text[:-1] if scale != 1 else text
+    try:
+        return int(float(digits) * scale)
+    except ValueError as exc:
+        raise SystemExit(f"bad size: {text!r} (use N, NK, NM, or NG)") from exc
+
+
+def _cmd_cache_stats(args) -> int:
+    import json as _json
+    import time as _time
+    from collections import defaultdict
+
+    from .store import open_backend
+
+    backend = open_backend(args.path)
+    now = _time.time()
+    per_kind = defaultdict(lambda: {"entries": 0, "bytes": 0,
+                                    "oldest_s": 0.0, "newest_s": None})
+    for entry in backend.entries():
+        kind = entry.kind or "(flat)"
+        row = per_kind[kind]
+        row["entries"] += 1
+        row["bytes"] += entry.size
+        age = max(0.0, now - entry.created_at)
+        row["oldest_s"] = max(row["oldest_s"], age)
+        row["newest_s"] = (age if row["newest_s"] is None
+                           else min(row["newest_s"], age))
+    total_entries = sum(r["entries"] for r in per_kind.values())
+    total_bytes = sum(r["bytes"] for r in per_kind.values())
+    if args.json:
+        print(_json.dumps({"backend": backend.name, "path": args.path,
+                           "entries": total_entries, "bytes": total_bytes,
+                           "kinds": dict(sorted(per_kind.items()))}, indent=2))
+        return 0
+    print(f"store:   {args.path} ({backend.name} backend)")
+    print(f"entries: {total_entries} ({total_bytes / 1e6:.2f} MB)")
+    for kind, row in sorted(per_kind.items()):
+        print(f"  {kind:<12} {row['entries']:>7} entries "
+              f"{row['bytes'] / 1e6:>9.2f} MB  "
+              f"oldest {row['oldest_s'] / 3600.0:.1f}h")
+    if not per_kind:
+        print("  (empty)")
+    return 0
+
+
+def _cmd_cache_gc(args) -> int:
+    from .store import gc_backend, open_backend
+
+    backend = open_backend(args.path)
+    report = gc_backend(
+        backend,
+        max_age_s=(args.max_age_days * 86400.0
+                   if args.max_age_days is not None else None),
+        max_bytes=(_parse_size(args.max_bytes)
+                   if args.max_bytes is not None else None),
+        dry_run=args.dry_run)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"store:   {args.path} ({report['backend']} backend)")
+    print(f"scanned: {report['scanned']} entries "
+          f"({report['bytes_before'] / 1e6:.2f} MB)")
+    print(f"{verb}: {report['deleted']} entries "
+          f"({report['bytes_freed'] / 1e6:.2f} MB); "
+          f"{report['bytes_after'] / 1e6:.2f} MB remain")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -531,6 +606,27 @@ def main(argv: list[str] | None = None) -> int:
     p_export.add_argument("--list", action="store_true",
                           help="list the 41 dataset designs")
     p_export.set_defaults(fn=_cmd_export)
+
+    p_cache = sub.add_parser("cache",
+                             help="inspect or sweep a shared artifact store")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats", help="per-kind entry counts, bytes, and ages")
+    p_cstats.add_argument("path",
+                          help="store root directory or SQLite file")
+    p_cstats.add_argument("--json", action="store_true",
+                          help="machine-readable output")
+    p_cstats.set_defaults(fn=_cmd_cache_stats)
+    p_cgc = cache_sub.add_parser(
+        "gc", help="age/size-bounded sweep of the persistent tier")
+    p_cgc.add_argument("path", help="store root directory or SQLite file")
+    p_cgc.add_argument("--max-age-days", type=float, default=None,
+                       help="delete entries older than this many days")
+    p_cgc.add_argument("--max-bytes", default=None, metavar="N[K|M|G]",
+                       help="evict oldest entries until the store fits")
+    p_cgc.add_argument("--dry-run", action="store_true",
+                       help="report what would be deleted without deleting")
+    p_cgc.set_defaults(fn=_cmd_cache_gc)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,28 +1,23 @@
-"""The content-addressed prediction cache (memory LRU + optional disk).
+"""The content-addressed prediction cache — a thin adapter over
+:class:`repro.store.ArtifactStore`.
 
 Values are plain JSON-serializable dicts (see
-:meth:`repro.runtime.engine.BatchPredictor` for the schema), so the disk
-tier is just one small JSON file per key under ``disk_dir``.  The
-in-memory tier is an LRU bounded by ``max_entries``; the disk tier is
-unbounded and survives across processes, which is what makes repeated
-DSE sweeps of overlapping configuration spaces near-free.
+:meth:`repro.runtime.engine.BatchPredictor` for the schema) stored under
+the ``prediction`` artifact kind.  Constructed with ``disk_dir`` it
+mounts the legacy flat directory layout (bit-compatible with entries
+written by earlier revisions); constructed with ``store`` it shares one
+:class:`ArtifactStore` — and therefore one persistent backend and one
+set of LRU tiers — with the front-end and synthesis caches, which is
+how many serve workers and datagen processes make every warm hit
+cluster-wide.
 """
 
 from __future__ import annotations
 
-import itertools
-import json
-import os
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
-# Distinct temp-file names for concurrent writers of the same key: the
-# pid separates processes, the counter separates threads.  A shared
-# ``path + ".tmp"`` would let two writers interleave on one temp file
-# and publish a torn entry.
-_TMP_COUNTER = itertools.count()
+from ..store import ArtifactStore, DirectoryBackend
 
 __all__ = ["CacheStats", "PredictionCache"]
 
@@ -53,102 +48,71 @@ class CacheStats:
 
 
 class PredictionCache:
-    """Two-tier (memory LRU, optional disk) store for cached predictions.
+    """Two-tier (memory LRU, optional persistent) prediction store.
 
     Parameters
     ----------
     max_entries:
-        In-memory LRU capacity; the least-recently-used entry is evicted
-        once exceeded.
+        In-memory LRU capacity (ignored when ``store`` is shared).
     disk_dir:
-        Optional directory for the persistent tier.  Created on first
-        write; a disk hit is promoted back into the memory tier.
+        Optional directory for a private persistent tier in the legacy
+        flat layout; a disk hit is promoted back into the memory tier.
+    store:
+        Optional shared :class:`ArtifactStore` to adapt instead of
+        owning a private one.
     """
 
+    KIND = "prediction"
+
     def __init__(self, max_entries: int = 4096,
-                 disk_dir: str | Path | None = None):
-        if max_entries < 1:
-            raise ValueError(f"max_entries must be >= 1: {max_entries}")
-        self.max_entries = max_entries
+                 disk_dir: str | Path | None = None,
+                 store: ArtifactStore | None = None):
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        self.stats = CacheStats()
-        self._entries: OrderedDict[str, dict] = OrderedDict()
-        self._lock = threading.Lock()
+        if store is None:
+            backend = (DirectoryBackend(self.disk_dir, flat=True)
+                       if self.disk_dir is not None else None)
+            store = ArtifactStore(max_entries=max_entries, backend=backend)
+        self.store = store
+        self.max_entries = store.max_entries
 
     # ------------------------------------------------------------------ #
-    def _disk_path(self, key: str) -> Path:
-        # Two-level fanout keeps directories small for big sweeps.
-        return self.disk_dir / key[:2] / f"{key}.json"
+    @property
+    def stats(self) -> CacheStats:
+        """Atomic snapshot of this cache's (kind-scoped) counters."""
+        c = self.store.counters((self.KIND,))
+        return CacheStats(memory_hits=c["memory_hits"] + c["object_hits"],
+                          disk_hits=c["persistent_hits"],
+                          misses=c["misses"])
 
     def get(self, key: str) -> dict | None:
         """Look up ``key``; returns the cached dict or ``None`` on miss."""
-        with self._lock:
-            if key in self._entries:
-                self._entries.move_to_end(key)
-                self.stats.memory_hits += 1
-                return self._entries[key]
-        if self.disk_dir is not None:
-            path = self._disk_path(key)
-            try:
-                value = json.loads(path.read_text())
-            except (OSError, ValueError):
-                value = None
-            if value is not None:
-                with self._lock:
-                    self.stats.disk_hits += 1
-                    self._insert(key, value)
-                return value
-        with self._lock:
-            self.stats.misses += 1
-        return None
+        return self.store.get(self.KIND, key)
+
+    def get_many(self, keys: list[str]) -> dict[str, dict]:
+        """Batched lookup — one backend round trip for the misses."""
+        return self.store.get_many(self.KIND, keys)
 
     def put(self, key: str, value: dict) -> None:
-        """Store ``value`` in the memory tier (and disk tier if enabled).
+        """Store ``value`` in the memory tier (and backend if attached).
 
-        The disk write is safe under concurrent writers from any number
-        of threads or processes: each writer stages into its own
-        uniquely-named temp file and publishes with an atomic rename, so
-        readers only ever see complete JSON (last writer wins — the
-        values are content-addressed, so every writer carries the same
-        payload anyway).
+        Persistent writes are safe under concurrent writers from any
+        number of threads or processes: the directory backend stages
+        into uniquely-named temp files and publishes with an atomic
+        rename; the SQLite backend inserts write-once rows — readers
+        only ever see complete payloads.
         """
-        with self._lock:
-            self._insert(key, value)
-        if self.disk_dir is not None:
-            path = self._disk_path(key)
-            path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.parent / \
-                f".{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
-            try:
-                tmp.write_text(json.dumps(value))
-                tmp.replace(path)  # atomic publish
-            except OSError:
-                tmp.unlink(missing_ok=True)
-                raise
+        self.store.put(self.KIND, key, value)
 
-    def _insert(self, key: str, value: dict) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+    def put_many(self, items: dict[str, dict]) -> None:
+        self.store.put_many(self.KIND, items)
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return self.store.memory_len(self.KIND)
 
     def __contains__(self, key: str) -> bool:
-        with self._lock:
-            if key in self._entries:
-                return True
-        return (self.disk_dir is not None and self._disk_path(key).is_file())
+        return self.store.contains(self.KIND, key)
 
     def clear(self, memory_only: bool = True) -> None:
-        """Drop the memory tier (and the disk tier if requested)."""
-        with self._lock:
-            self._entries.clear()
-        if not memory_only and self.disk_dir is not None and self.disk_dir.is_dir():
-            for path in self.disk_dir.glob("*/*.json"):
-                path.unlink(missing_ok=True)
-            for path in self.disk_dir.glob("*/.*.tmp"):
-                path.unlink(missing_ok=True)  # crashed writers' staging files
+        """Drop the memory tier (and the persistent tier if requested)."""
+        self.store.clear(memory_only=memory_only)

@@ -179,9 +179,12 @@ def fingerprint_activity(activity: dict[int, float] | None) -> str:
 
 def cache_key(graph_fp: str, model_fp: str, sampler_fp: str,
               activity_fp: str = "none") -> str:
-    """Combine component fingerprints into one cache key."""
-    h = hashlib.sha256()
-    for part in (graph_fp, model_fp, sampler_fp, activity_fp):
-        h.update(part.encode())
-        h.update(b"|")
-    return h.hexdigest()
+    """Combine component fingerprints into one cache key.
+
+    Delegates to :func:`repro.store.keys.prediction_key` — the unified
+    key schema — with an unchanged byte layout, so entries written by
+    earlier revisions keep their addresses.
+    """
+    from ..store.keys import prediction_key
+
+    return prediction_key(graph_fp, model_fp, sampler_fp, activity_fp)

@@ -23,13 +23,11 @@ import hashlib
 import inspect
 import json
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
-from threading import Lock
 
 from ..graphir import CircuitGraph, CompiledGraph, as_compiled, compile_graph
-from .cache import PredictionCache
+from ..store import ArtifactStore, DirectoryBackend
 from .fingerprint import fingerprint_sampler
 
 __all__ = [
@@ -139,12 +137,15 @@ def fingerprint_frontend_module(module, params: dict | None = None) -> str:
 
 # ---------------------------------------------------------------------- #
 class FrontendCache:
-    """Content-addressed cache of compiled graphs and sampled paths.
+    """Content-addressed cache of compiled graphs and sampled paths — a
+    schema adapter over :class:`repro.store.ArtifactStore`.
 
-    Three tiers, cheapest first: an in-process object tier (the live
-    :class:`CompiledGraph` / path tuples, no deserialization), the
-    :class:`PredictionCache` memory tier (JSON payloads), and its
-    optional disk tier (one file per key, survives across processes).
+    Three tiers, cheapest first: the store's live-object tier (the
+    :class:`CompiledGraph` / path tuples, no deserialization), its
+    memory LRU, and its optional persistent backend (survives across
+    processes).  Payload serialization is lazy: with no persistent
+    backend attached, ``put_graph``/``put_paths`` never call
+    ``to_payload()`` — the object tier alone serves in-process reuse.
 
     The path tier is keyed on (graph *content* fingerprint x sampler
     config), so two differently-named designs that elaborate to the same
@@ -153,72 +154,54 @@ class FrontendCache:
     a fresh sample exactly.
     """
 
+    GRAPH_KIND = "graph"
+    PATHS_KIND = "paths"
+
     def __init__(self, max_entries: int = 4096,
-                 disk_dir: str | Path | None = None):
-        self.store = PredictionCache(max_entries=max_entries, disk_dir=disk_dir)
-        self._graphs: OrderedDict[str, CompiledGraph] = OrderedDict()
-        self._paths: OrderedDict[str, tuple] = OrderedDict()
-        self._max_objects = max_entries
-        self._lock = Lock()
-        self.object_hits = 0
+                 disk_dir: str | Path | None = None,
+                 store: ArtifactStore | None = None):
+        if store is None:
+            backend = (DirectoryBackend(disk_dir, flat=True)
+                       if disk_dir is not None else None)
+            store = ArtifactStore(max_entries=max_entries, backend=backend)
+        self.store = store
 
     # -- compiled graphs ----------------------------------------------- #
     def get_graph(self, key: str) -> CompiledGraph | None:
-        with self._lock:
-            cg = self._graphs.get(key)
-            if cg is not None:
-                self._graphs.move_to_end(key)
-                self.object_hits += 1
-                return cg
-        doc = self.store.get(key)
-        if doc is None:
-            return None
-        cg = CompiledGraph.from_payload(doc)
-        with self._lock:
-            self._insert(self._graphs, key, cg)
-        return cg
+        return self.store.get_object(self.GRAPH_KIND, key,
+                                     decode=CompiledGraph.from_payload)
 
     def put_graph(self, key: str, cg: CompiledGraph) -> None:
-        with self._lock:
-            self._insert(self._graphs, key, cg)
-        self.store.put(key, cg.to_payload())
+        self.store.put_object(self.GRAPH_KIND, key, cg, encode=cg.to_payload)
 
     # -- sampled paths -------------------------------------------------- #
     @staticmethod
     def path_key(cg: CompiledGraph, sampler) -> str:
-        h = hashlib.sha256(b"frontend-paths:v1")
-        h.update(cg.fingerprint().encode())
-        h.update(fingerprint_sampler(sampler).encode())
-        return h.hexdigest()
+        from ..store.keys import paths_key
+
+        return paths_key(cg.fingerprint(), fingerprint_sampler(sampler))
 
     def get_paths(self, cg: CompiledGraph, sampler):
         """Replay cached paths for ``cg`` under ``sampler``, or ``None``."""
-        key = self.path_key(cg, sampler)
-        with self._lock:
-            paths = self._paths.get(key)
-            if paths is not None:
-                self._paths.move_to_end(key)
-                self.object_hits += 1
-                return list(paths)
-        doc = self.store.get(key)
-        if doc is None:
-            return None
-        from ..core.sampler import SampledPath
+        def decode(doc):
+            from ..core.sampler import SampledPath
 
-        tokens = cg.token_list
-        paths = tuple(SampledPath(node_ids=tuple(ids),
-                                  tokens=tuple(tokens[n] for n in ids))
-                      for ids in doc["paths"])
-        with self._lock:
-            self._insert(self._paths, key, paths)
-        return list(paths)
+            tokens = cg.token_list
+            return tuple(SampledPath(node_ids=tuple(ids),
+                                     tokens=tuple(tokens[n] for n in ids))
+                         for ids in doc["paths"])
+
+        paths = self.store.get_object(self.PATHS_KIND,
+                                      self.path_key(cg, sampler),
+                                      decode=decode)
+        return None if paths is None else list(paths)
 
     def put_paths(self, cg: CompiledGraph, sampler, paths) -> None:
-        key = self.path_key(cg, sampler)
-        with self._lock:
-            self._insert(self._paths, key, tuple(paths))
-        self.store.put(key, {"format": "repro-frontend-paths", "version": 1,
-                             "paths": [list(p.node_ids) for p in paths]})
+        stored = tuple(paths)
+        self.store.put_object(
+            self.PATHS_KIND, self.path_key(cg, sampler), stored,
+            encode=lambda: {"format": "repro-frontend-paths", "version": 1,
+                            "paths": [list(p.node_ids) for p in stored]})
 
     def sample(self, cg: CompiledGraph, sampler):
         """Cached sampling: replay if keyed paths exist, else sample+store."""
@@ -229,20 +212,23 @@ class FrontendCache:
         return paths
 
     # ------------------------------------------------------------------ #
-    def _insert(self, tier: OrderedDict, key: str, value) -> None:
-        tier[key] = value
-        tier.move_to_end(key)
-        while len(tier) > self._max_objects:
-            tier.popitem(last=False)
+    @property
+    def object_hits(self) -> int:
+        return self.store.counters((self.GRAPH_KIND, self.PATHS_KIND))[
+            "object_hits"]
 
     @property
     def stats(self) -> dict:
-        return {"object_hits": self.object_hits, **self.store.stats.as_dict()}
+        c = self.store.counters((self.GRAPH_KIND, self.PATHS_KIND))
+        hits = c["object_hits"] + c["memory_hits"] + c["persistent_hits"]
+        lookups = hits + c["misses"]
+        return {"object_hits": c["object_hits"],
+                "memory_hits": c["memory_hits"],
+                "disk_hits": c["persistent_hits"],
+                "misses": c["misses"],
+                "hit_rate": hits / lookups if lookups else 0.0}
 
     def clear(self, memory_only: bool = True) -> None:
-        with self._lock:
-            self._graphs.clear()
-            self._paths.clear()
         self.store.clear(memory_only=memory_only)
 
 

@@ -2,13 +2,21 @@
 
 A serving process holds every model it has ever been asked for in
 memory, fully warmed: the fitted :class:`~repro.core.predictor.SNS`, a
-shared :class:`~repro.runtime.FrontendCache`, one
-:class:`~repro.runtime.PredictionCache`, and one
+:class:`~repro.runtime.FrontendCache` and
+:class:`~repro.runtime.PredictionCache` adapting one **shared**
+:class:`~repro.store.ArtifactStore`, and one
 :class:`~repro.runtime.BatchPredictor` per requested precision (the
 fp64 predictor is bit-identical to ``SNS.predict``; reduced precisions
 get their own cache rows via the PR-5 fingerprint suffix).  Loading is
 single-flight per path — concurrent first requests for the same model
 deserialize it exactly once.
+
+The registry mounts one store for the whole process (directory or
+SQLite backend via ``cache_dir``), and any number of sibling serve
+workers may mount the same one: compiled graphs, sampled paths, and
+predictions any worker computes are warm for all of them, and models
+persisted by ``/train`` (see :class:`~repro.store.ModelStore`) are
+resolvable by name, fingerprint, or fingerprint prefix after a restart.
 
 Models are addressable three ways: by registry *name* (``"default"``,
 a CLI-chosen alias, or a ``/train``-assigned id), by *model
@@ -28,15 +36,16 @@ from pathlib import Path
 from ..runtime import (BatchPredictor, FrontendCache, PredictionCache,
                        fingerprint_model)
 from ..runtime.trainer import EncodingCache
+from ..store import ArtifactStore, ModelStore, open_backend
 
 __all__ = ["ServedModel", "ModelRegistry"]
 
 
 class ServedModel:
-    """One warm model: the SNS plus its shared serving-side caches."""
+    """One warm model: the SNS plus its serving-side cache adapters."""
 
     def __init__(self, sns, name: str, *, batch_size: int = 32,
-                 cache_dir: str | Path | None = None, executor: bool = False,
+                 store: ArtifactStore | None = None, executor: bool = False,
                  threads: int = 1):
         self.sns = sns
         self.name = name
@@ -44,10 +53,9 @@ class ServedModel:
         self.executor = executor
         self.threads = threads
         self.fingerprint = fingerprint_model(sns)
-        self.frontend_cache = FrontendCache(
-            disk_dir=Path(cache_dir) / "frontend" if cache_dir else None)
-        self.prediction_cache = PredictionCache(
-            disk_dir=Path(cache_dir) / "predictions" if cache_dir else None)
+        self.store = store if store is not None else ArtifactStore()
+        self.frontend_cache = FrontendCache(store=self.store)
+        self.prediction_cache = PredictionCache(store=self.store)
         self.encoding_cache = EncodingCache()
         self._predictors: dict[str, BatchPredictor] = {}
         self._lock = threading.Lock()
@@ -101,15 +109,20 @@ class ServedModel:
 
 
 class ModelRegistry:
-    """Name/fingerprint-addressed table of warm :class:`ServedModel`\\ s."""
+    """Name/fingerprint-addressed table of warm :class:`ServedModel`\\ s
+    over one shared :class:`~repro.store.ArtifactStore`."""
 
     def __init__(self, *, batch_size: int = 32,
                  cache_dir: str | Path | None = None, executor: bool = False,
-                 threads: int = 1):
+                 threads: int = 1, store: ArtifactStore | None = None):
         self.batch_size = batch_size
-        self.cache_dir = Path(cache_dir) if cache_dir else None
         self.executor = executor
         self.threads = threads
+        if store is None:
+            backend = open_backend(cache_dir) if cache_dir else None
+            store = ArtifactStore(backend=backend)
+        self.store = store
+        self.models = ModelStore(store)
         self._by_name: dict[str, ServedModel] = {}
         self._by_path: dict[str, ServedModel] = {}
         self._lock = threading.Lock()
@@ -117,16 +130,22 @@ class ModelRegistry:
 
     # ------------------------------------------------------------------ #
     def _wrap(self, sns, name: str) -> ServedModel:
-        model_dir = (self.cache_dir / name) if self.cache_dir else None
         return ServedModel(sns, name, batch_size=self.batch_size,
-                           cache_dir=model_dir, executor=self.executor,
+                           store=self.store, executor=self.executor,
                            threads=self.threads)
 
-    def register(self, sns, name: str) -> ServedModel:
-        """Adopt an already-fitted in-process model under ``name``."""
+    def register(self, sns, name: str, persist: bool = False) -> ServedModel:
+        """Adopt an already-fitted in-process model under ``name``.
+
+        ``persist=True`` also writes the weights (and the ``name``
+        alias) into the shared store so sibling workers and later
+        restarts can resolve it.
+        """
         served = self._wrap(sns, name)
         with self._lock:
             self._by_name[name] = served
+        if persist and self.models.persistent:
+            self.models.save(sns, name=name)
         return served
 
     def load(self, path: str | Path, name: str | None = None) -> ServedModel:
@@ -150,8 +169,7 @@ class ModelRegistry:
         return served
 
     # ------------------------------------------------------------------ #
-    def get(self, ref: str) -> ServedModel:
-        """Resolve a model by name, fingerprint, or fingerprint prefix."""
+    def _get_warm(self, ref: str) -> ServedModel | None:
         with self._lock:
             served = self._by_name.get(ref)
             if served is not None:
@@ -164,6 +182,26 @@ class ModelRegistry:
                     return next(iter(matches.values()))
                 if len(matches) > 1:
                     raise KeyError(f"model ref {ref!r} is ambiguous")
+        return None
+
+    def get(self, ref: str) -> ServedModel:
+        """Resolve a model by name, fingerprint, or fingerprint prefix.
+
+        Falls back to the shared store: a model persisted there by a
+        sibling worker or a previous incarnation of this server is
+        rehydrated and registered on first reference.
+        """
+        served = self._get_warm(ref)
+        if served is not None:
+            return served
+        model_fp = self.models.find(ref)
+        if model_fp is not None:
+            sns = self.models.load(model_fp)
+            if sns is not None:
+                alias = ref if self.models.resolve_alias(ref) else model_fp[:12]
+                with self._lock:
+                    self.loads += 1
+                return self.register(sns, alias)
         raise KeyError(f"no model registered under {ref!r}")
 
     def names(self) -> list[str]:

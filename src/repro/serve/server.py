@@ -256,6 +256,7 @@ class PredictionServer:
         depth = sum(b.depth for b in self._batchers.values())
         return Response(200, self.metrics.as_dict(extra={
             "queue_depth": depth,
+            "store": self.registry.store.stats(),
             "registry": self.registry.stats(),
             "config": {
                 "max_batch": self.config.max_batch,
@@ -487,6 +488,36 @@ class PredictionServer:
         alias = body.get("name")
         loop = asyncio.get_running_loop()
 
+        # The request is a pure function of these parameters; its content
+        # address indexes the trained weights in the shared store, so an
+        # identical request — from any worker, before or after a restart
+        # — replays the stored model instead of retraining.
+        from ..store.keys import training_request_key
+
+        training_fp = training_request_key({
+            "designs": list(names), "effort": effort,
+            "circuitformer_epochs": cf_epochs,
+            "aggregator_epochs": agg_epochs,
+            "max_paths": max_paths, "seed": seed,
+        })
+        models = self.registry.models
+        if models.persistent:
+            stored_fp = models.resolve_training(training_fp)
+            if stored_fp is not None:
+                start = time.perf_counter()
+                sns = await loop.run_in_executor(
+                    self._pool, models.load, stored_fp)
+                if sns is not None:
+                    served = self.add_model(
+                        sns, str(alias) if alias else f"train-{stored_fp[:8]}")
+                    return Response(200, {
+                        "model": served.fingerprint,
+                        "name": served.name,
+                        "designs": len(names),
+                        "cached": True,
+                        "train_s": time.perf_counter() - start,
+                    })
+
         def run():
             from ..core import (SNS, CircuitformerConfig, PathSampler,
                                 TrainingConfig)
@@ -517,12 +548,19 @@ class PredictionServer:
             sns, num_designs = await asyncio.wait_for(
                 loop.run_in_executor(self._pool, run),
                 timeout=max(self.config.request_timeout_s, 600.0))
+        from ..runtime import fingerprint_model
+
         served = self.add_model(
-            sns, str(alias) if alias else f"train-{id(sns) & 0xffffff:06x}")
+            sns, str(alias) if alias else f"train-{fingerprint_model(sns)[:8]}")
+        if models.persistent:
+            await loop.run_in_executor(
+                self._pool, lambda: models.save(
+                    sns, name=served.name, training_fp=training_fp))
         return Response(200, {
             "model": served.fingerprint,
             "name": served.name,
             "designs": num_designs,
+            "cached": False,
             "train_s": time.perf_counter() - start,
         })
 

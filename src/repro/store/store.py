@@ -1,0 +1,324 @@
+"""The unified content-addressed artifact store.
+
+One :class:`ArtifactStore` replaces the per-purpose object/memory/disk
+tier stacks that ``FrontendCache``, ``SynthesisCache``, and
+``PredictionCache`` each reimplemented.  Three tiers, cheapest first:
+
+- **object** — live deserialized values (a ``CompiledGraph``, a path
+  tuple), LRU-bounded, no (de)serialization on a hit;
+- **memory** — JSON payload dicts, LRU-bounded;
+- **persistent** — an optional pluggable
+  :class:`~repro.store.backend.PersistentBackend` (directory or SQLite)
+  that any number of processes can mount concurrently, which is what
+  turns a warm hit from per-process into cluster-wide.
+
+Entries are addressed by ``(kind, key)`` where ``kind`` names the
+pipeline stage (see :mod:`repro.store.keys`) and ``key`` is a
+content-addressed fingerprint, so one store safely holds the whole
+pipeline — graphs, paths, synthesis labels, predictions, and trained
+model weights — for any number of models and workers at once.
+
+Serialization is lazy: ``put_object`` only invokes its ``encode``
+callback when a persistent backend is attached, so memory-only stores
+never pay payload construction (the PR-10 fix for ``FrontendCache``
+serializing every compiled graph it would never write).
+
+All hit/miss counters are per-kind, per-tier, and mutated only under
+the store lock, so ``/metrics`` aggregation and concurrent workers
+never race on stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .backend import PersistentBackend
+
+__all__ = ["ArtifactStore"]
+
+_COUNTERS = ("object_hits", "memory_hits", "persistent_hits", "misses",
+             "puts", "single_flight_hits")
+
+
+class _Flight:
+    """Single-flight bookkeeping for one in-progress computation."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class ArtifactStore:
+    """Three-tier content-addressed store for pipeline artifacts.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU bound of the memory (payload) tier and of the object tier,
+        each counted across all kinds.
+    backend:
+        Optional persistent tier; ``None`` keeps the store
+        process-local.
+    """
+
+    def __init__(self, max_entries: int = 4096,
+                 backend: PersistentBackend | None = None):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
+        self.max_entries = max_entries
+        self.backend = backend
+        self._objects: OrderedDict[tuple[str, str], object] = OrderedDict()
+        self._payloads: OrderedDict[tuple[str, str], dict] = OrderedDict()
+        self._stats: dict[str, dict[str, int]] = {}
+        self._lock = threading.Lock()
+        self._flights: dict[tuple[str, str], _Flight] = {}
+
+    # -- stats ---------------------------------------------------------- #
+    def _bump(self, kind: str, counter: str, by: int = 1) -> None:
+        # Callers hold self._lock.
+        stats = self._stats.get(kind)
+        if stats is None:
+            stats = self._stats[kind] = dict.fromkeys(_COUNTERS, 0)
+        stats[counter] += by
+
+    def counters(self, kinds=None) -> dict[str, int]:
+        """Summed per-tier counters, optionally restricted to ``kinds``."""
+        with self._lock:
+            total = dict.fromkeys(_COUNTERS, 0)
+            for kind, stats in self._stats.items():
+                if kinds is not None and kind not in kinds:
+                    continue
+                for name, value in stats.items():
+                    total[name] += value
+        return total
+
+    def stats(self) -> dict:
+        """Per-kind counters plus tier-level aggregates and sizes."""
+        with self._lock:
+            kinds = {k: dict(v) for k, v in sorted(self._stats.items())}
+            object_entries = len(self._objects)
+            memory_entries = len(self._payloads)
+        total = dict.fromkeys(_COUNTERS, 0)
+        for stats in kinds.values():
+            for name, value in stats.items():
+                total[name] += value
+        hits = (total["object_hits"] + total["memory_hits"]
+                + total["persistent_hits"])
+        lookups = hits + total["misses"]
+
+        def rate(n: int) -> float:
+            return n / lookups if lookups else 0.0
+
+        return {
+            "backend": self.backend.name if self.backend else None,
+            "tiers": {
+                "object": {"entries": object_entries,
+                           "hits": total["object_hits"],
+                           "hit_rate": rate(total["object_hits"])},
+                "memory": {"entries": memory_entries,
+                           "hits": total["memory_hits"],
+                           "hit_rate": rate(total["memory_hits"])},
+                "persistent": {"hits": total["persistent_hits"],
+                               "hit_rate": rate(total["persistent_hits"])},
+            },
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "misses": total["misses"],
+            "puts": total["puts"],
+            "single_flight_hits": total["single_flight_hits"],
+            "kinds": kinds,
+        }
+
+    # -- payload path --------------------------------------------------- #
+    def get(self, kind: str, key: str) -> dict | None:
+        """Look up a payload artifact; ``None`` on an all-tier miss."""
+        ref = (kind, key)
+        with self._lock:
+            value = self._payloads.get(ref)
+            if value is not None:
+                self._payloads.move_to_end(ref)
+                self._bump(kind, "memory_hits")
+                return value
+        if self.backend is not None:
+            value = self.backend.get(kind, key)
+            if value is not None:
+                with self._lock:
+                    self._bump(kind, "persistent_hits")
+                    self._insert(self._payloads, ref, value)
+                return value
+        with self._lock:
+            self._bump(kind, "misses")
+        return None
+
+    def put(self, kind: str, key: str, value: dict,
+            replace: bool = False) -> None:
+        """Store a payload in the memory tier (and the backend, if any)."""
+        with self._lock:
+            self._bump(kind, "puts")
+            self._insert(self._payloads, (kind, key), value)
+        if self.backend is not None:
+            self.backend.put(kind, key, value, replace=replace)
+
+    def get_many(self, kind: str, keys: list[str]) -> dict[str, dict]:
+        """Batched lookup: memory tier first, one backend round trip for
+        the rest.  Returns only the keys that hit."""
+        found: dict[str, dict] = {}
+        missing: list[str] = []
+        with self._lock:
+            for key in keys:
+                value = self._payloads.get((kind, key))
+                if value is not None:
+                    self._payloads.move_to_end((kind, key))
+                    found[key] = value
+                else:
+                    missing.append(key)
+            self._bump(kind, "memory_hits", len(found))
+        if missing and self.backend is not None:
+            fetched = self.backend.get_many(kind, missing)
+            with self._lock:
+                self._bump(kind, "persistent_hits", len(fetched))
+                self._bump(kind, "misses", len(missing) - len(fetched))
+                for key, value in fetched.items():
+                    self._insert(self._payloads, (kind, key), value)
+            found.update(fetched)
+        elif missing:
+            with self._lock:
+                self._bump(kind, "misses", len(missing))
+        return found
+
+    def put_many(self, kind: str, items: dict[str, dict],
+                 replace: bool = False) -> None:
+        with self._lock:
+            self._bump(kind, "puts", len(items))
+            for key, value in items.items():
+                self._insert(self._payloads, (kind, key), value)
+        if self.backend is not None:
+            self.backend.put_many(kind, items, replace=replace)
+
+    # -- object path ---------------------------------------------------- #
+    def get_object(self, kind: str, key: str, decode=None):
+        """Look up a live object; falls back to ``decode(payload)`` from
+        the persistent tier (the decoded object is promoted)."""
+        ref = (kind, key)
+        with self._lock:
+            obj = self._objects.get(ref)
+            if obj is not None:
+                self._objects.move_to_end(ref)
+                self._bump(kind, "object_hits")
+                return obj
+        if self.backend is not None and decode is not None:
+            payload = self.backend.get(kind, key)
+            if payload is not None:
+                obj = decode(payload)
+                with self._lock:
+                    self._bump(kind, "persistent_hits")
+                    self._insert(self._objects, ref, obj)
+                return obj
+        with self._lock:
+            self._bump(kind, "misses")
+        return None
+
+    def put_object(self, kind: str, key: str, obj, encode=None,
+                   replace: bool = False) -> None:
+        """Store a live object; ``encode()`` runs **only** when a
+        persistent backend is attached (no wasted payload construction
+        on memory-only stores)."""
+        with self._lock:
+            self._bump(kind, "puts")
+            self._insert(self._objects, (kind, key), obj)
+        if self.backend is not None and encode is not None:
+            self.backend.put(kind, key, encode(), replace=replace)
+
+    # -- single flight -------------------------------------------------- #
+    def get_or_compute(self, kind: str, key: str, compute, *,
+                       decode=None, encode=None):
+        """Cached call of ``compute`` with per-key single-flight dedup.
+
+        Concurrent callers of one key in one process run ``compute``
+        exactly once — the rest block on the owner and share its result.
+        With ``decode`` the artifact travels through the object tier
+        (``encode`` serializing it for the backend); otherwise
+        ``compute`` must return a payload dict.
+        """
+        lookup = ((lambda: self.get_object(kind, key, decode))
+                  if decode is not None else (lambda: self.get(kind, key)))
+        value = lookup()
+        if value is not None:
+            return value
+        ref = (kind, key)
+        with self._lock:
+            flight = self._flights.get(ref)
+            owner = flight is None
+            if owner:
+                flight = self._flights[ref] = _Flight()
+            else:
+                self._bump(kind, "single_flight_hits")
+        if owner:
+            try:
+                value = compute()
+                if decode is not None:
+                    self.put_object(kind, key, value, encode=encode)
+                else:
+                    self.put(kind, key, value)
+                flight.value = value
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            finally:
+                flight.event.set()
+                with self._lock:
+                    self._flights.pop(ref, None)
+            return value
+        flight.event.wait()
+        if flight.error is None:
+            return flight.value
+        # The owner failed; recover independently rather than replaying
+        # its exception against an unrelated caller.
+        value = lookup()
+        return value if value is not None else compute()
+
+    # -- bookkeeping ---------------------------------------------------- #
+    def _insert(self, tier: OrderedDict, ref, value) -> None:
+        # Callers hold self._lock.
+        tier[ref] = value
+        tier.move_to_end(ref)
+        while len(tier) > self.max_entries:
+            tier.popitem(last=False)
+
+    def contains(self, kind: str, key: str) -> bool:
+        with self._lock:
+            if (kind, key) in self._payloads or (kind, key) in self._objects:
+                return True
+        return self.backend is not None and self.backend.contains(kind, key)
+
+    def memory_len(self, kind: str | None = None) -> int:
+        """Memory-tier entry count (optionally for one kind)."""
+        with self._lock:
+            if kind is None:
+                return len(self._payloads)
+            return sum(1 for k, _ in self._payloads if k == kind)
+
+    def keys(self, kind: str) -> set[str]:
+        """All keys of ``kind`` visible in any tier."""
+        with self._lock:
+            visible = {key for k, key in self._payloads if k == kind}
+            visible |= {key for k, key in self._objects if k == kind}
+        if self.backend is not None:
+            visible |= {e.key for e in self.backend.entries()
+                        if e.kind == kind or e.kind == ""}
+        return visible
+
+    def clear(self, memory_only: bool = True) -> None:
+        """Drop the in-process tiers (and the backend if requested)."""
+        with self._lock:
+            self._objects.clear()
+            self._payloads.clear()
+        if not memory_only and self.backend is not None:
+            self.backend.clear()
+
+    def close(self) -> None:
+        if self.backend is not None:
+            self.backend.close()

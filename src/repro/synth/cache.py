@@ -1,25 +1,27 @@
-"""Disk-tier memoization of design-level synthesis results.
+"""Memoization of design-level synthesis results over the artifact store.
 
 A synthesized label is a pure function of four inputs: the elaborated
 graph structure, the technology library's cost basis, the effort level,
 and the optional register-activity map.  :func:`synthesis_cache_key`
-hashes exactly those four (reusing the PR-1 fingerprint infrastructure),
-so a dataset rebuild after an unrelated code change — or from a sibling
+hashes exactly those four (via the unified :mod:`repro.store.keys`
+schema, byte-compatible with entries written by earlier revisions), so
+a dataset rebuild after an unrelated code change — or from a sibling
 process in the ``build_design_dataset`` worker pool — replays labels
-from disk instead of re-synthesizing.
+from the shared tier instead of re-synthesizing.
 
-The store itself is :class:`repro.runtime.cache.PredictionCache` (memory
-LRU + atomic-write JSON disk tier); this module only adds the synthesis
-key schema and SynthesisResult (de)hydration.  ``repro.runtime`` is
+The store itself is :class:`repro.store.ArtifactStore` (memory LRU +
+optional persistent backend); this module only adds the synthesis key
+schema and SynthesisResult (de)hydration.  ``repro.runtime`` is
 imported lazily inside functions: the import chain runtime -> core ->
 synth would otherwise turn a module-level import into a cycle.
 """
 
 from __future__ import annotations
 
-import hashlib
 from pathlib import Path
 
+from ..store import ArtifactStore, DirectoryBackend
+from ..store.keys import synth_key
 from .synthesizer import SynthesisResult
 
 __all__ = ["SynthesisCache", "synthesis_cache_key"]
@@ -31,40 +33,49 @@ def synthesis_cache_key(graph, library, effort: str,
     from ..runtime.fingerprint import (fingerprint_activity, fingerprint_graph,
                                        fingerprint_library)
 
-    h = hashlib.sha256(b"synth:v1")
-    for part in (fingerprint_graph(graph), fingerprint_library(library),
-                 effort, fingerprint_activity(activity)):
-        h.update(part.encode())
-        h.update(b"|")
-    return h.hexdigest()
+    return synth_key(fingerprint_graph(graph), fingerprint_library(library),
+                     effort, fingerprint_activity(activity))
 
 
 class SynthesisCache:
-    """Two-tier store mapping (graph, library, effort, activity) to labels.
+    """Store mapping (graph, library, effort, activity) to labels.
 
     Parameters
     ----------
     max_entries:
-        In-memory LRU capacity.
+        In-memory LRU capacity (ignored when ``store`` is shared).
     disk_dir:
-        Optional persistent tier shared across processes — this is what
-        lets ``build_design_dataset`` workers and later rebuilds reuse
-        each other's synthesis runs.
+        Optional persistent tier in the legacy flat layout — this is
+        what lets ``build_design_dataset`` workers and later rebuilds
+        reuse each other's synthesis runs.
+    store:
+        Optional shared :class:`ArtifactStore` to adapt instead of
+        owning a private one.
     """
 
-    def __init__(self, max_entries: int = 4096,
-                 disk_dir: str | Path | None = None):
-        from ..runtime.cache import PredictionCache
+    KIND = "synth"
 
-        self._store = PredictionCache(max_entries=max_entries, disk_dir=disk_dir)
+    def __init__(self, max_entries: int = 4096,
+                 disk_dir: str | Path | None = None,
+                 store: ArtifactStore | None = None):
+        if store is None:
+            backend = (DirectoryBackend(disk_dir, flat=True)
+                       if disk_dir is not None else None)
+            store = ArtifactStore(max_entries=max_entries, backend=backend)
+        self.store = store
 
     @property
     def stats(self):
         """Hit/miss counters (``repro.runtime.cache.CacheStats``)."""
-        return self._store.stats
+        from ..runtime.cache import CacheStats
+
+        c = self.store.counters((self.KIND,))
+        return CacheStats(memory_hits=c["memory_hits"] + c["object_hits"],
+                          disk_hits=c["persistent_hits"],
+                          misses=c["misses"])
 
     def __len__(self) -> int:
-        return len(self._store)
+        return self.store.memory_len(self.KIND)
 
     # ------------------------------------------------------------------ #
     def get(self, graph, library, effort: str,
@@ -75,8 +86,9 @@ class SynthesisCache:
         identical designs share one entry; the returned result is
         re-stamped with the querying graph's name.
         """
-        value = self._store.get(synthesis_cache_key(graph, library, effort,
-                                                    activity))
+        value = self.store.get(self.KIND,
+                               synthesis_cache_key(graph, library, effort,
+                                                   activity))
         if value is None:
             return None
         return SynthesisResult(
@@ -94,7 +106,8 @@ class SynthesisCache:
         """Store one synthesis outcome (``runtime_s`` keeps the original
         synthesis cost, so cached replays still report what a fresh run
         would have paid)."""
-        self._store.put(
+        self.store.put(
+            self.KIND,
             synthesis_cache_key(graph, library, effort, activity),
             {
                 "design": result.design,

@@ -352,6 +352,15 @@ class TestMetricsAndBatching:
         assert metrics["config"]["max_batch"] == 8
         assert "default" in metrics["registry"]["models"]
 
+        # The shared-store aggregation: per-tier hit counters and rates.
+        store = metrics["store"]
+        assert set(store["tiers"]) == {"object", "memory", "persistent"}
+        for tier in store["tiers"].values():
+            assert tier["hits"] >= 0
+            assert 0.0 <= tier["hit_rate"] <= 1.0
+        assert 0.0 <= store["hit_rate"] <= 1.0
+        assert "prediction" in store["kinds"]
+
     def test_concurrent_requests_coalesce_into_one_batch(self, tiny_sns):
         """Distinct requests inside one batching window share a flush."""
         sns, _ = tiny_sns

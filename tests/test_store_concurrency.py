@@ -1,0 +1,197 @@
+"""Cross-process safety of the shared persistent store tiers.
+
+Serve workers, datagen pool workers, and DSE sweeps all mount one
+persistent backend concurrently.  These tests hammer both backends from
+real subprocesses (not threads — sqlite locking and rename atomicity
+behave differently across processes) and pin the properties the store
+guarantees:
+
+- **no torn reads**: every payload read back is internally consistent
+  (a checksum over its body matches), even with many processes writing
+  overlapping write-once keys;
+- **crash safety**: a writer SIGKILLed mid-stream never leaves an entry
+  that poisons later mounts — the store opens, reads, and heals;
+- **single-flight**: concurrent in-process computations of one key run
+  once.
+"""
+
+import hashlib
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.store import ArtifactStore, open_backend
+
+NPROC = 4
+KEYS_PER_PROC = 24
+SHARED_KEYS = 8  # every process also fights over these
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+
+def verify(payload: dict) -> None:
+    digest = hashlib.sha256(
+        (payload["key"] + payload["body"]).encode()).hexdigest()
+    assert payload["checksum"] == digest, "torn or mixed payload"
+
+
+def run_workers(tmp_path, spec, script):
+    env = {**os.environ, "PYTHONPATH": SRC}
+    procs = [subprocess.Popen(
+        [sys.executable, "-c", script, str(spec), str(i)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        for i in range(NPROC)]
+    for proc in procs:
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+
+
+HAMMER = r"""
+import hashlib, json, sys
+from repro.store import open_backend
+
+spec, rank = sys.argv[1], int(sys.argv[2])
+backend = open_backend(spec)
+
+def checksummed(key, body):
+    digest = hashlib.sha256((key + body).encode()).hexdigest()
+    return {"key": key, "body": body, "checksum": digest}
+
+for i in range(24):
+    key = hashlib.sha256(f"own-{rank}-{i}".encode()).hexdigest()
+    backend.put("prediction", key, checksummed(key, "x" * 512))
+for i in range(8):
+    # Contended write-once keys: all ranks race on these.  The payload
+    # is a pure function of the key, so whoever wins, readers must see
+    # a self-consistent entry.
+    key = hashlib.sha256(f"shared-{i}".encode()).hexdigest()
+    backend.put("prediction", key, checksummed(key, "y" * 2048))
+    got = backend.get("prediction", key)
+    if got is not None:
+        digest = hashlib.sha256((got["key"] + got["body"]).encode()).hexdigest()
+        assert got["checksum"] == digest, "torn read"
+"""
+
+
+@pytest.mark.parametrize("make_spec", [
+    pytest.param(lambda p: p / "store-dir", id="directory"),
+    pytest.param(lambda p: p / "store.sqlite", id="sqlite"),
+])
+class TestMultiProcess:
+    def test_hammer_no_torn_reads(self, tmp_path, make_spec):
+        spec = make_spec(tmp_path)
+        run_workers(tmp_path, spec, HAMMER)
+        backend = open_backend(spec)
+        expected = NPROC * KEYS_PER_PROC + SHARED_KEYS
+        entries = list(backend.entries())
+        assert len(entries) == expected
+        for rank in range(NPROC):
+            for i in range(KEYS_PER_PROC):
+                key = hashlib.sha256(f"own-{rank}-{i}".encode()).hexdigest()
+                payload = backend.get("prediction", key)
+                assert payload is not None
+                verify(payload)
+        shared = [hashlib.sha256(f"shared-{i}".encode()).hexdigest()
+                  for i in range(SHARED_KEYS)]
+        found = backend.get_many("prediction", shared)
+        assert set(found) == set(shared)
+        for payload in found.values():
+            verify(payload)
+
+    def test_store_level_cross_process_warm(self, tmp_path, make_spec):
+        spec = make_spec(tmp_path)
+        run_workers(tmp_path, spec, HAMMER)
+        # A fresh ArtifactStore in this (different) process sees every
+        # subprocess write as a persistent hit.
+        store = ArtifactStore(backend=open_backend(spec))
+        key = hashlib.sha256(b"own-0-0").hexdigest()
+        payload = store.get("prediction", key)
+        verify(payload)
+        assert store.counters()["persistent_hits"] == 1
+
+    def test_killed_mid_write_does_not_poison(self, tmp_path, make_spec):
+        spec = make_spec(tmp_path)
+        script = r"""
+import hashlib, sys
+from repro.store import open_backend
+
+spec = sys.argv[1]
+backend = open_backend(spec)
+i = 0
+print("ready", flush=True)
+while True:
+    key = hashlib.sha256(f"victim-{i}".encode()).hexdigest()
+    backend.put("prediction", key,
+                {"key": key, "body": "z" * 4096,
+                 "checksum": hashlib.sha256(
+                     (key + "z" * 4096).encode()).hexdigest()})
+    i += 1
+"""
+        env = {**os.environ, "PYTHONPATH": SRC}
+        proc = subprocess.Popen([sys.executable, "-c", script, str(spec)],
+                                env=env, stdout=subprocess.PIPE)
+        assert proc.stdout.readline().strip() == b"ready"
+        time.sleep(0.3)  # let it write mid-stream
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+
+        backend = open_backend(spec)
+        survivors = 0
+        for i in range(10_000):
+            key = hashlib.sha256(f"victim-{i}".encode()).hexdigest()
+            payload = backend.get("prediction", key)
+            if payload is None:
+                break  # keys are written in order; first gap ends the run
+            verify(payload)
+            survivors += 1
+        assert survivors > 0, "victim never published anything"
+        # The store stays fully writable after the crash.
+        backend.put("prediction", "f" * 64, {"v": 1})
+        assert backend.get("prediction", "f" * 64) == {"v": 1}
+
+    def test_no_leaked_temp_files(self, tmp_path, make_spec):
+        spec = make_spec(tmp_path)
+        run_workers(tmp_path, spec, HAMMER)
+        if spec.suffix:  # sqlite: nothing to check on disk layout
+            return
+        leftovers = [p for p in spec.rglob("*")
+                     if p.is_file() and p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestSingleFlightUnderProcesses:
+    def test_compute_once_per_process_cluster(self, tmp_path):
+        # Cross-process "single flight" is write-once at the backend:
+        # every process may compute, but the store converges on one
+        # entry and later mounts replay it without computing.
+        spec = tmp_path / "store.sqlite"
+        script = r"""
+import hashlib, json, sys
+from repro.store import ArtifactStore, open_backend
+
+spec = sys.argv[1]
+store = ArtifactStore(backend=open_backend(spec))
+key = "e" * 64
+value = store.get_or_compute(
+    "prediction", key,
+    lambda: {"key": key, "body": "w" * 256,
+             "checksum": hashlib.sha256((key + "w" * 256).encode()).hexdigest()})
+digest = hashlib.sha256((value["key"] + value["body"]).encode()).hexdigest()
+assert value["checksum"] == digest
+"""
+        run_workers(tmp_path, spec, script)
+        backend = open_backend(spec)
+        [entry] = [e for e in backend.entries() if e.key == "e" * 64]
+        payload = backend.get("prediction", "e" * 64)
+        verify(payload)
+        # A warm mount never recomputes.
+        store = ArtifactStore(backend=backend)
+        value = store.get_or_compute(
+            "prediction", "e" * 64,
+            lambda: pytest.fail("warm mount recomputed"))
+        verify(value)
